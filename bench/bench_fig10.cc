@@ -1,0 +1,50 @@
+// Reproduces Figure 10 (paper §5.4): scalability across spatial domains.
+// Clusters are spread over four AWS regions (Tokyo, Seoul, Virginia,
+// California) with the paper's measured RTTs; workloads have 90%
+// internal + 10% cross-cluster transactions of each kind. Fabric is not
+// measured (the paper cannot sensibly geo-distribute its single
+// ordering service either).
+
+#include "bench_common.h"
+
+using namespace qanaat;
+using namespace qanaat::bench;
+
+int main() {
+  std::printf(
+      "Figure 10 — scalability over spatial domains\n"
+      "(clusters over TY/SU/VA/CA; RTTs: TY-SU 33ms, TY-VA 148ms, TY-CA "
+      "107ms, SU-VA 175ms, SU-CA 135ms, VA-CA 62ms; 10%% cross)\n\n");
+
+  struct Sub {
+    const char* label;
+    CrossKind kind;
+  };
+  const Sub subs[] = {
+      {"(a): 10% intra-shard cross-enterprise",
+       CrossKind::kIntraShardCrossEnterprise},
+      {"(b): 10% cross-shard intra-enterprise",
+       CrossKind::kCrossShardIntraEnterprise},
+      {"(c): 10% cross-shard cross-enterprise",
+       CrossKind::kCrossShardCrossEnterprise},
+  };
+
+  for (const auto& sub : subs) {
+    PrintSubfigureHeader(sub.label);
+    for (const auto& s : AllQanaatSeries()) {
+      QanaatRunConfig cfg = MakeQanaatConfig(s, sub.kind, 0.1);
+      // One enterprise per region: all 4 clusters of enterprise e sit in
+      // region e (the paper distributes clusters of different
+      // enterprises over the four regions).
+      cfg.cluster_regions.resize(16);
+      for (int c = 0; c < 16; ++c) cfg.cluster_regions[c] = c / 4;
+      // WAN rounds cut capacity; longer runs cover the higher latency.
+      cfg.duration = BenchDuration() + 800 * kMillisecond;
+      double guess = s.capacity_guess * 0.55;
+      SweepResult r = SmartSweep(
+          [&cfg](double tps) { return RunQanaatPoint(cfg, tps); }, guess);
+      PrintCurve(s.name, r);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 7 (paper §5.1): throughput/latency with 10%, 50% and
+// 90% intra-shard cross-enterprise transactions, for the six Qanaat
+// protocol variants and the Fabric family. 4 enterprises x 4 shards,
+// f = g = h = 1, single datacenter.
+
+#include "bench_common.h"
+
+int main() {
+  qanaat::bench::RunCrossFigure(
+      "Figure 7 — intra-shard cross-enterprise transactions",
+      qanaat::CrossKind::kIntraShardCrossEnterprise,
+      /*include_fabric=*/true);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Figure 8 (paper §5.2): workloads with 10%, 50% and 90%
+// cross-shard intra-enterprise transactions. Flt-C runs the crash-only
+// fast path of §4.4.2 and should dominate; Fabric is shard-insensitive.
+
+#include "bench_common.h"
+
+int main() {
+  qanaat::bench::RunCrossFigure(
+      "Figure 8 — cross-shard intra-enterprise transactions",
+      qanaat::CrossKind::kCrossShardIntraEnterprise,
+      /*include_fabric=*/true);
+  return 0;
+}

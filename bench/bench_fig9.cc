@@ -1,0 +1,13 @@
+// Reproduces Figure 9 (paper §5.3): workloads with 10%, 50% and 90%
+// cross-shard cross-enterprise transactions — the heaviest case, where
+// the coordinator-based family should win at high cross fractions.
+
+#include "bench_common.h"
+
+int main() {
+  qanaat::bench::RunCrossFigure(
+      "Figure 9 — cross-shard cross-enterprise transactions",
+      qanaat::CrossKind::kCrossShardCrossEnterprise,
+      /*include_fabric=*/true);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the core data structures and
+// crypto primitives — not a paper figure, but useful for profiling the
+// substrate that every experiment runs on.
+
+#include <benchmark/benchmark.h>
+
+#include "collections/tx_id.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+#include "ledger/dag_ledger.h"
+#include "store/mvstore.h"
+
+namespace qanaat {
+namespace {
+
+void BM_Sha256_1KB(benchmark::State& state) {
+  std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KB);
+
+void BM_SignVerify(benchmark::State& state) {
+  KeyStore ks(1);
+  auto d = Sha256::Hash("message");
+  for (auto _ : state) {
+    Signature sig = ks.Sign(1, d);
+    benchmark::DoNotOptimize(ks.Verify(sig, d));
+  }
+}
+BENCHMARK(BM_SignVerify);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Sha256Digest> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(Sha256::Hash(std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::RootOf(leaves));
+  }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_MvStorePut(benchmark::State& state) {
+  MvStore store;
+  SeqNo v = 0;
+  uint64_t k = 0;
+  for (auto _ : state) {
+    store.Put(k++ % 10000, 42, ++v);
+  }
+}
+BENCHMARK(BM_MvStorePut);
+
+void BM_MvStoreSnapshotRead(benchmark::State& state) {
+  MvStore store;
+  for (SeqNo v = 1; v <= 1000; ++v) {
+    store.Put(7, int64_t(v), v);
+  }
+  SeqNo at = 0;
+  for (auto _ : state) {
+    at = at % 1000 + 1;
+    benchmark::DoNotOptimize(store.GetAt(7, at));
+  }
+}
+BENCHMARK(BM_MvStoreSnapshotRead);
+
+void BM_TxIdConsistencyCheck(benchmark::State& state) {
+  CollectionId ab{EnterpriseSet{0, 1}};
+  CollectionId root{EnterpriseSet{0, 1, 2, 3}};
+  TxId a, b;
+  a.alpha = {ab, 0, 1};
+  a.gamma = {{root, 3}, {CollectionId{EnterpriseSet{0, 1, 2}}, 2}};
+  b.alpha = {ab, 0, 2};
+  b.gamma = a.gamma;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckLocalConsistency(a, b));
+    benchmark::DoNotOptimize(CheckGlobalConsistency(a, b));
+  }
+}
+BENCHMARK(BM_TxIdConsistencyCheck);
+
+void BM_LedgerAppend(benchmark::State& state) {
+  KeyStore ks(1);
+  CollectionId local{EnterpriseSet{0}};
+  int batch = static_cast<int>(state.range(0));
+  SeqNo n = 0;
+  DagLedger ledger;
+  for (auto _ : state) {
+    auto b = std::make_shared<Block>();
+    b->id.alpha = {local, 0, ++n};
+    for (int i = 0; i < batch; ++i) {
+      Transaction tx;
+      tx.collection = local;
+      tx.client_ts = n * 1000 + i;
+      tx.ops.push_back(TxOp{TxOp::Kind::kAdd, uint64_t(i), 1, {}});
+      b->txs.push_back(std::move(tx));
+    }
+    b->Seal();
+    CommitCertificate cert;
+    cert.block_digest = b->Digest();
+    cert.direct = true;
+    cert.sigs.push_back(ks.Sign(0, cert.block_digest));
+    benchmark::DoNotOptimize(ledger.Append(b, cert, 0));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * batch);
+}
+BENCHMARK(BM_LedgerAppend)->Arg(10)->Arg(100);
+
+void BM_BlockSealAndDigest(benchmark::State& state) {
+  CollectionId local{EnterpriseSet{0}};
+  for (auto _ : state) {
+    auto b = std::make_shared<Block>();
+    b->id.alpha = {local, 0, 1};
+    for (int i = 0; i < 100; ++i) {
+      Transaction tx;
+      tx.collection = local;
+      tx.client_ts = uint64_t(i);
+      tx.ops.push_back(TxOp{TxOp::Kind::kAdd, uint64_t(i), 1, {}});
+      b->txs.push_back(std::move(tx));
+    }
+    b->Seal();
+    benchmark::DoNotOptimize(b->Digest());
+  }
+}
+BENCHMARK(BM_BlockSealAndDigest);
+
+}  // namespace
+}  // namespace qanaat
+
+BENCHMARK_MAIN();

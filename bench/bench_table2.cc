@@ -1,0 +1,36 @@
+// Reproduces Table 2 (paper §5.5): throughput and latency with 2, 4, 6
+// and 8 enterprises; 90% internal + 10% cross-cluster (intra-shard
+// cross-enterprise) transactions. Throughput should grow almost linearly
+// with the number of enterprises.
+
+#include "bench_common.h"
+
+using namespace qanaat;
+using namespace qanaat::bench;
+
+int main() {
+  std::printf(
+      "Table 2 — performance with different numbers of enterprises\n"
+      "(4 shards each, 90%% internal + 10%% cross-cluster)\n\n");
+  std::printf("%-12s", "Protocol");
+  for (int e : {2, 4, 6, 8}) {
+    std::printf("  | %2d ent: T[tps]   L[ms]", e);
+  }
+  std::printf("\n");
+
+  for (const auto& s : AllQanaatSeries()) {
+    std::printf("%-12s", s.name);
+    for (int e : {2, 4, 6, 8}) {
+      QanaatRunConfig cfg = MakeQanaatConfig(
+          s, CrossKind::kIntraShardCrossEnterprise, 0.1, e, 4);
+      double guess = s.capacity_guess * e / 4.0;
+      SweepResult r = SmartSweep(
+          [&cfg](double tps) { return RunQanaatPoint(cfg, tps); }, guess);
+      std::printf("  | %13.0f  %6.1f", r.knee.measured_tps,
+                  r.knee.avg_latency_ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

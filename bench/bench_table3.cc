@@ -1,0 +1,61 @@
+// Reproduces Table 3 (paper §5.6): performance with faulty nodes. One
+// non-primary ordering node per cluster fails (f=1 tolerated); for the
+// privacy-firewall variants additionally one execution node and one
+// filter fail. All protocols are pessimistic, so the impact should be
+// small (paper: <= ~12% throughput reduction).
+
+#include "bench_common.h"
+
+using namespace qanaat;
+using namespace qanaat::bench;
+
+int main() {
+  std::printf(
+      "Table 3 — performance with faulty nodes\n"
+      "(first-set workload: 10%% intra-shard cross-enterprise)\n\n");
+  std::printf("%-12s | %13s %9s | %13s %9s | %7s\n", "Protocol",
+              "no-fail T", "L[ms]", "1-fail T", "L[ms]", "dT%");
+
+  for (const auto& s : AllQanaatSeries()) {
+    QanaatRunConfig cfg = MakeQanaatConfig(
+        s, CrossKind::kIntraShardCrossEnterprise, 0.1);
+    SweepResult healthy = SmartSweep(
+        [&cfg](double tps) { return RunQanaatPoint(cfg, tps); },
+        s.capacity_guess);
+    QanaatRunConfig faulty = cfg;
+    faulty.faulty_ordering_nodes = 1;
+    SweepResult failed = SmartSweep(
+        [&faulty](double tps) { return RunQanaatPoint(faulty, tps); },
+        s.capacity_guess * 0.9);
+    double delta = 100.0 *
+                   (healthy.knee.measured_tps - failed.knee.measured_tps) /
+                   healthy.knee.measured_tps;
+    std::printf("%-12s | %13.0f %9.1f | %13.0f %9.1f | %6.1f%%\n", s.name,
+                healthy.knee.measured_tps, healthy.knee.avg_latency_ms,
+                failed.knee.measured_tps, failed.knee.avg_latency_ms,
+                delta);
+    std::fflush(stdout);
+  }
+
+  for (const auto& s : AllFabricSeries()) {
+    FabricRunConfig cfg =
+        MakeFabricConfig(s, CrossKind::kIntraShardCrossEnterprise, 0.1);
+    SweepResult healthy = SmartSweep(
+        [&cfg](double tps) { return RunFabricPoint(cfg, tps); },
+        s.capacity_guess);
+    FabricRunConfig faulty = cfg;
+    faulty.fail_follower = true;
+    SweepResult failed = SmartSweep(
+        [&faulty](double tps) { return RunFabricPoint(faulty, tps); },
+        s.capacity_guess * 0.9);
+    double delta = 100.0 *
+                   (healthy.knee.measured_tps - failed.knee.measured_tps) /
+                   healthy.knee.measured_tps;
+    std::printf("%-12s | %13.0f %9.1f | %13.0f %9.1f | %6.1f%%\n", s.name,
+                healthy.knee.measured_tps, healthy.knee.avg_latency_ms,
+                failed.knee.measured_tps, failed.knee.avg_latency_ms,
+                delta);
+    std::fflush(stdout);
+  }
+  return 0;
+}

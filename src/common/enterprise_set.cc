@@ -1,0 +1,15 @@
+#include "common/enterprise_set.h"
+
+namespace qanaat {
+
+std::string EnterpriseSet::Label() const {
+  std::string out;
+  for (int e = 0; e < kMaxEnterprises; ++e) {
+    if (Contains(static_cast<EnterpriseId>(e))) {
+      out.push_back(static_cast<char>('A' + e));
+    }
+  }
+  return out;
+}
+
+}  // namespace qanaat

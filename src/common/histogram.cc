@@ -1,0 +1,77 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace qanaat {
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0),
+      count_(0),
+      min_(std::numeric_limits<int64_t>::max()),
+      max_(0),
+      sum_(0) {}
+
+// Buckets: 8 sub-buckets per power of two, giving ~12.5% worst-case
+// relative error — enough for throughput/latency tables.
+int Histogram::BucketFor(int64_t v) {
+  if (v < 8) return static_cast<int>(v < 0 ? 0 : v);
+  int msb = 63 - std::countl_zero(static_cast<uint64_t>(v));
+  int sub = static_cast<int>((v >> (msb - 3)) & 7);  // top-3 bits below msb
+  int b = (msb - 2) * 8 + sub;
+  return std::min(b, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketLow(int b) {
+  if (b < 8) return b;
+  int msb = b / 8 + 2;
+  int sub = b % 8;
+  return (int64_t{1} << msb) | (int64_t{sub} << (msb - 3));
+}
+
+void Histogram::Add(int64_t v) {
+  buckets_[BucketFor(v)]++;
+  count_++;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  sum_ += static_cast<double>(v);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.count_) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target >= count_) target = count_ - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return std::min(std::max(BucketLow(i), min_), max_);
+  }
+  return max_;
+}
+
+}  // namespace qanaat

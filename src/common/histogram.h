@@ -1,0 +1,41 @@
+#ifndef QANAAT_COMMON_HISTOGRAM_H_
+#define QANAAT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qanaat {
+
+/// Latency histogram with logarithmic buckets (HdrHistogram-lite).
+/// Values are in microseconds; resolution degrades gracefully at the tail,
+/// which is what benchmark reporting needs.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(int64_t value_us);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  /// q in [0, 1], e.g. 0.5 for median, 0.99 for p99.
+  int64_t Percentile(double q) const;
+
+ private:
+  static constexpr int kNumBuckets = 512;
+  static int BucketFor(int64_t v);
+  static int64_t BucketLow(int b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,48 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace qanaat {
+
+double Rng::Exponential(double mean) {
+  // Inverse-CDF sampling; guard against log(0).
+  double u = NextDouble();
+  if (u >= 1.0) u = 0.9999999999;
+  return -mean * std::log1p(-u);
+}
+
+namespace {
+double Zeta(uint64_t n, double s) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), s);
+  return sum;
+}
+}  // namespace
+
+Zipf::Zipf(uint64_t n, double s) : n_(n), s_(s) {
+  if (n_ == 0) n_ = 1;
+  // The closed-form inversion has a pole at s == 1; nudge to 0.9999 (the
+  // resulting distribution is indistinguishable at benchmark scale).
+  theta_ = (s == 1.0) ? 0.9999 : s;
+  zetan_ = (theta_ == 0.0) ? double(n_) : Zeta(n_, theta_);
+  zeta2_ = (theta_ == 0.0) ? 2.0 : Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t Zipf::Sample(Rng& rng) const {
+  if (theta_ == 0.0) return rng.Uniform(n_);
+  // YCSB-style inversion (Gray et al., "Quickly generating billion-record
+  // synthetic databases").
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+}  // namespace qanaat

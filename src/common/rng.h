@@ -1,0 +1,86 @@
+#ifndef QANAAT_COMMON_RNG_H_
+#define QANAAT_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace qanaat {
+
+/// SplitMix64 — used to expand a single user seed into per-component
+/// streams so components stay decoupled (adding one does not perturb the
+/// randomness of others).
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG. One instance per simulation component;
+/// the whole simulation is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed with the given mean (for Poisson arrivals).
+  double Exponential(double mean);
+
+  /// Derive an independent child stream.
+  Rng Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+/// Zipfian key-selection distribution over [0, n) with skew parameter s
+/// (paper §5.7 uses s = 0, 1, 2; s = 0 is uniform). Uses the standard
+/// Gray/Jim-Gray YCSB rejection-free inversion method.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double s);
+
+  /// Draw a key in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  double zetan_;   // generalized harmonic number H_{n,s}
+  double eta_;
+  double theta_;
+  double alpha_;
+  double zeta2_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_COMMON_RNG_H_

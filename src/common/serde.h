@@ -1,0 +1,106 @@
+#ifndef QANAAT_COMMON_SERDE_H_
+#define QANAAT_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qanaat {
+
+/// Little-endian binary encoder. All protocol messages are serialized with
+/// this so digests and signatures cover a canonical byte representation.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLE(v); }
+  void PutU32(uint32_t v) { PutLE(v); }
+  void PutU64(uint64_t v) { PutLE(v); }
+  void PutI64(int64_t v) { PutLE(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string.
+  void PutBytes(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void PutRaw(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() && { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Little-endian binary decoder over a borrowed buffer. Methods return
+/// false on underflow; callers surface Status::Corruption.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  bool GetU8(uint8_t* v) { return GetLE(v); }
+  bool GetU16(uint16_t* v) { return GetLE(v); }
+  bool GetU32(uint32_t* v) { return GetLE(v); }
+  bool GetU64(uint64_t* v) { return GetLE(v); }
+  bool GetI64(int64_t* v) {
+    uint64_t u;
+    if (!GetLE(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool GetBool(bool* v) {
+    uint8_t b;
+    if (!GetU8(&b)) return false;
+    *v = (b != 0);
+    return true;
+  }
+  bool GetBytes(std::string* s) {
+    uint32_t n;
+    if (!GetU32(&n)) return false;
+    if (pos_ + n > size_) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  bool GetLE(T* v) {
+    if (pos_ + sizeof(T) > size_) return false;
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    *v = out;
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_COMMON_SERDE_H_

@@ -1,0 +1,39 @@
+#ifndef QANAAT_COMMON_TYPES_H_
+#define QANAAT_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace qanaat {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+
+/// Index of an enterprise in a deployment (0-based; at most 16).
+using EnterpriseId = uint8_t;
+
+/// Index of a data shard within an enterprise.
+using ShardId = uint16_t;
+
+/// Global identifier of a simulated node (actor) in the network.
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Monotonically increasing sequence number within a data collection.
+using SeqNo = uint64_t;
+
+/// PBFT-style view number within a cluster.
+using ViewNo = uint64_t;
+
+/// Failure model declared for a set of nodes (paper §3.4).
+enum class FailureModel : uint8_t {
+  kCrash = 0,      // 2f+1 nodes order and execute
+  kByzantine = 1,  // 3f+1 ordering, 2g+1 execution (+ optional firewall)
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_COMMON_TYPES_H_

@@ -1,0 +1,76 @@
+#ifndef QANAAT_CONSENSUS_ENGINE_H_
+#define QANAAT_CONSENSUS_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "consensus/value.h"
+#include "sim/env.h"
+#include "sim/message.h"
+
+namespace qanaat {
+
+/// Callbacks wiring a consensus engine into its hosting actor (an
+/// ordering node). The engine itself is transport-agnostic; the host
+/// forwards consensus messages into OnMessage and provides send/timer
+/// primitives.
+struct EngineContext {
+  Env* env = nullptr;
+  NodeId self = kInvalidNode;
+  /// Ordering nodes of this cluster, in fixed index order (primary of
+  /// view v = cluster[v % cluster.size()]).
+  std::vector<NodeId> cluster;
+  int self_index = 0;
+
+  std::function<void(NodeId, MessageRef)> send;
+  /// Multicast to every *other* ordering node of the cluster.
+  std::function<void(MessageRef)> broadcast;
+  /// StartTimer(delay, tag, payload) on the host actor; fires
+  /// engine->OnTimer.
+  std::function<void(SimTime, uint64_t, uint64_t)> start_timer;
+  /// Delivered exactly once per slot, in slot order.
+  std::function<void(uint64_t slot, const ConsensusValue&)> deliver;
+  /// Invoked when the local node moves to a new view (after NEW-VIEW).
+  std::function<void(ViewNo view, NodeId new_primary)> on_view_change;
+};
+
+/// Pluggable intra-cluster consensus (paper §4.1): PBFT when the cluster
+/// declares the Byzantine failure model, Multi-Paxos when crash-only.
+class InternalConsensus {
+ public:
+  explicit InternalConsensus(EngineContext ctx) : ctx_(std::move(ctx)) {}
+  virtual ~InternalConsensus() = default;
+
+  /// Primary-side: order `v`. No-op with a warning metric if called on a
+  /// non-primary.
+  virtual void Propose(const ConsensusValue& v) = 0;
+
+  /// Feed a consensus protocol message from `from`.
+  virtual void OnMessage(NodeId from, const MessageRef& msg) = 0;
+
+  /// Timer callback relayed by the host (tags >= kEngineTimerBase).
+  virtual void OnTimer(uint64_t tag, uint64_t payload) = 0;
+
+  virtual bool IsPrimary() const = 0;
+  virtual NodeId PrimaryNode() const = 0;
+  virtual ViewNo view() const = 0;
+
+  /// Signatures from the local quorum proving a slot committed; used by
+  /// the cross-cluster protocols to build cluster-signed messages
+  /// ("signed by local-majority", §4.3).
+  virtual std::vector<Signature> CommitProof(uint64_t slot) const = 0;
+
+  /// Number of matching votes that constitutes a local-majority.
+  virtual size_t Quorum() const = 0;
+
+  static constexpr uint64_t kEngineTimerBase = 1u << 20;
+
+ protected:
+  size_t ClusterSize() const { return ctx_.cluster.size(); }
+  EngineContext ctx_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_CONSENSUS_ENGINE_H_

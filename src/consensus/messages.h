@@ -1,0 +1,150 @@
+#ifndef QANAAT_CONSENSUS_MESSAGES_H_
+#define QANAAT_CONSENSUS_MESSAGES_H_
+
+#include <vector>
+
+#include "collections/tx_id.h"
+#include "consensus/value.h"
+#include "crypto/signer.h"
+#include "ledger/block.h"
+#include "ledger/transaction.h"
+#include "sim/message.h"
+
+namespace qanaat {
+
+/// ⟨REQUEST, op, tc, c⟩_σc — client request (paper §4.1).
+struct RequestMsg : Message {
+  RequestMsg() : Message(MsgType::kRequest) {}
+  Transaction tx;
+  bool is_retransmission = false;
+};
+
+/// Reply from an executing node to the client machine (crash and
+/// no-firewall paths). Block-granular: carries the (client, timestamp)
+/// pairs of every transaction in the block so the client machine can
+/// settle each of its pending requests.
+struct ReplyMsg : Message {
+  ReplyMsg() : Message(MsgType::kReply) {}
+  Sha256Digest block_digest;
+  Sha256Digest result_digest;
+  std::vector<std::pair<NodeId, uint64_t>> clients;
+  Signature sig;
+};
+
+/// Reply certificate assembled by the top filter row: g+1 matching signed
+/// replies from distinct execution nodes (paper §4.2).
+struct ReplyCertMsg : Message {
+  ReplyCertMsg() : Message(MsgType::kReplyCert) {}
+  Sha256Digest block_digest;
+  Sha256Digest result_digest;
+  std::vector<std::pair<NodeId, uint64_t>> clients;
+  ReplyCertificate cert;
+};
+
+// --------------------------------------------------------- PBFT messages
+
+struct PrePrepareMsg : Message {
+  PrePrepareMsg() : Message(MsgType::kPrePrepare) {}
+  ViewNo view = 0;
+  uint64_t slot = 0;
+  ConsensusValue value;
+  Sha256Digest value_digest;
+  Signature sig;  // primary's signature over (view, slot, value_digest)
+};
+
+struct PrepareMsg : Message {
+  PrepareMsg() : Message(MsgType::kPrepare) {}
+  ViewNo view = 0;
+  uint64_t slot = 0;
+  Sha256Digest value_digest;
+  Signature sig;
+};
+
+struct CommitMsg : Message {
+  CommitMsg() : Message(MsgType::kCommit) {}
+  ViewNo view = 0;
+  uint64_t slot = 0;
+  Sha256Digest value_digest;
+  Signature sig;
+};
+
+/// Prepared-slot evidence carried in a view change.
+struct PreparedProof {
+  uint64_t slot = 0;
+  ViewNo view = 0;
+  ConsensusValue value;
+  Sha256Digest value_digest;
+};
+
+struct ViewChangeMsg : Message {
+  ViewChangeMsg() : Message(MsgType::kViewChange) {}
+  ViewNo new_view = 0;
+  uint64_t last_delivered = 0;
+  std::vector<PreparedProof> prepared;
+  Signature sig;
+};
+
+struct NewViewMsg : Message {
+  NewViewMsg() : Message(MsgType::kNewView) {}
+  ViewNo new_view = 0;
+  // Slots the new primary re-proposes (prepared in prior views).
+  std::vector<PreparedProof> reproposals;
+  Signature sig;
+};
+
+// ---------------------------------------------------- Multi-Paxos (CFT)
+
+struct PaxosAcceptMsg : Message {
+  PaxosAcceptMsg() : Message(MsgType::kPaxosAccept) {
+    sig_verify_ops = 0;  // CFT path authenticates with cheap MACs
+  }
+  uint64_t ballot = 0;
+  uint64_t slot = 0;
+  ConsensusValue value;
+  Sha256Digest value_digest;
+};
+
+struct PaxosAcceptedMsg : Message {
+  PaxosAcceptedMsg() : Message(MsgType::kPaxosAccepted) {
+    sig_verify_ops = 0;
+  }
+  uint64_t ballot = 0;
+  uint64_t slot = 0;
+  Sha256Digest value_digest;
+};
+
+struct PaxosLearnMsg : Message {
+  PaxosLearnMsg() : Message(MsgType::kPaxosLearn) { sig_verify_ops = 0; }
+  uint64_t ballot = 0;
+  uint64_t slot = 0;
+  Sha256Digest value_digest;
+};
+
+// --------------------------- ordering -> firewall -> execution (§4.2)
+
+/// Request + commit certificate flowing from ordering nodes through the
+/// filters to the execution nodes.
+struct ExecOrderMsg : Message {
+  ExecOrderMsg() : Message(MsgType::kExecOrder) {}
+  BlockPtr block;
+  CommitCertificate cert;
+  /// The ⟨α, γ⟩ that applies on the receiving cluster's shard.
+  LocalPart alpha_here;
+  std::vector<GammaEntry> gamma_here;
+};
+
+/// Signed execution reply flowing from execution nodes up through the
+/// filters (top row aggregates g+1 into a ReplyCertMsg).
+struct ExecReplyMsg : Message {
+  ExecReplyMsg() : Message(MsgType::kExecReply) {}
+  Sha256Digest block_digest;
+  Sha256Digest result_digest;
+  // (client, client_ts, tx digest) per transaction so filters can route
+  // per-client certificates; kept aggregate here: one reply per block.
+  std::vector<std::pair<NodeId, uint64_t>> clients;
+  Signature sig;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_CONSENSUS_MESSAGES_H_

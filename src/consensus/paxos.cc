@@ -1,0 +1,160 @@
+#include "consensus/paxos.h"
+
+namespace qanaat {
+
+PaxosEngine::PaxosEngine(EngineContext ctx, int f, SimTime base_timeout_us)
+    : InternalConsensus(std::move(ctx)),
+      f_(f),
+      base_timeout_(base_timeout_us) {}
+
+void PaxosEngine::Propose(const ConsensusValue& v) {
+  if (!IsPrimary()) {
+    ctx_.env->metrics.Inc("paxos.propose_on_follower");
+    return;
+  }
+  uint64_t slot = next_slot_++;
+  SlotState& st = slots_[slot];
+  st.ballot = ballot_;
+  st.value = v;
+  st.digest = v.Digest();
+  st.have_value = true;
+  st.accepted.insert(ctx_.self);
+
+  auto acc = std::make_shared<PaxosAcceptMsg>();
+  acc->ballot = ballot_;
+  acc->slot = slot;
+  acc->value = v;
+  acc->value_digest = st.digest;
+  acc->wire_bytes = 64 + v.WireSize();
+  ctx_.broadcast(acc);
+  ArmSlotTimer(slot);
+
+  // f = 0 degenerate case: single-node cluster decides immediately.
+  if (st.accepted.size() >= Quorum()) {
+    st.learned = true;
+    DeliverReady();
+  }
+}
+
+void PaxosEngine::OnMessage(NodeId from, const MessageRef& msg) {
+  switch (msg->type) {
+    case MsgType::kPaxosAccept:
+      HandleAccept(from, *msg->As<PaxosAcceptMsg>());
+      break;
+    case MsgType::kPaxosAccepted:
+      HandleAccepted(from, *msg->As<PaxosAcceptedMsg>());
+      break;
+    case MsgType::kPaxosLearn:
+      HandleLearn(from, *msg->As<PaxosLearnMsg>());
+      break;
+    default:
+      break;
+  }
+}
+
+void PaxosEngine::HandleAccept(NodeId from, const PaxosAcceptMsg& m) {
+  if (m.ballot < ballot_) return;  // stale leader
+  if (m.ballot > ballot_) ballot_ = m.ballot;
+  if (from != PrimaryNode()) return;
+  SlotState& st = slots_[m.slot];
+  st.ballot = m.ballot;
+  st.value = m.value;
+  st.digest = m.value_digest;
+  st.have_value = true;
+
+  auto resp = std::make_shared<PaxosAcceptedMsg>();
+  resp->ballot = m.ballot;
+  resp->slot = m.slot;
+  resp->value_digest = m.value_digest;
+  ctx_.send(from, resp);
+  ArmSlotTimer(m.slot);
+}
+
+void PaxosEngine::HandleAccepted(NodeId from, const PaxosAcceptedMsg& m) {
+  if (m.ballot != ballot_ || !IsPrimary()) return;
+  SlotState& st = slots_[m.slot];
+  if (!st.have_value || st.digest != m.value_digest) return;
+  st.accepted.insert(from);
+  if (st.learned || st.accepted.size() < Quorum()) {
+    if (!st.learned) return;
+    return;
+  }
+  st.learned = true;
+  auto learn = std::make_shared<PaxosLearnMsg>();
+  learn->ballot = m.ballot;
+  learn->slot = m.slot;
+  learn->value_digest = st.digest;
+  ctx_.broadcast(learn);
+  DeliverReady();
+}
+
+void PaxosEngine::HandleLearn(NodeId from, const PaxosLearnMsg& m) {
+  if (from != ctx_.cluster[m.ballot % ClusterSize()]) return;
+  SlotState& st = slots_[m.slot];
+  if (!st.have_value || st.digest != m.value_digest) {
+    // Value not seen yet (reordered delivery) — remember it is decided;
+    // Accept will follow or retransmission recovers it.
+    ctx_.env->metrics.Inc("paxos.learn_before_value");
+    return;
+  }
+  st.learned = true;
+  DeliverReady();
+}
+
+void PaxosEngine::DeliverReady() {
+  while (true) {
+    auto it = slots_.find(last_delivered_ + 1);
+    if (it == slots_.end() || !it->second.learned || it->second.delivered ||
+        !it->second.have_value) {
+      break;
+    }
+    it->second.delivered = true;
+    ++last_delivered_;
+    ctx_.deliver(it->first, it->second.value);
+  }
+}
+
+void PaxosEngine::ArmSlotTimer(uint64_t slot) {
+  SlotState& st = slots_[slot];
+  if (st.timer_armed || st.learned) return;
+  st.timer_armed = true;
+  ctx_.start_timer(base_timeout_, kTagSlotTimeout, slot);
+}
+
+void PaxosEngine::OnTimer(uint64_t tag, uint64_t payload) {
+  if (tag != kTagSlotTimeout) return;
+  auto it = slots_.find(payload);
+  if (it == slots_.end()) return;
+  SlotState& st = it->second;
+  st.timer_armed = false;
+  if (st.learned) return;
+
+  // Leader takeover: bump the ballot until we own it, then re-drive every
+  // unfinished slot with our (possibly inherited) value.
+  uint64_t nb = ballot_ + 1;
+  while (ctx_.cluster[nb % ClusterSize()] != ctx_.self) ++nb;
+  ballot_ = nb;
+  ctx_.env->metrics.Inc("paxos.leader_takeover");
+  if (ctx_.on_view_change) ctx_.on_view_change(ballot_, ctx_.self);
+
+  uint64_t max_slot = last_delivered_;
+  for (auto& [s, ss] : slots_) max_slot = std::max(max_slot, s);
+  next_slot_ = std::max(next_slot_, max_slot + 1);
+
+  for (auto& [s, ss] : slots_) {
+    if (ss.delivered || ss.learned || !ss.have_value) continue;
+    ss.ballot = ballot_;
+    ss.accepted.clear();
+    ss.accepted.insert(ctx_.self);
+    auto acc = std::make_shared<PaxosAcceptMsg>();
+    acc->ballot = ballot_;
+    acc->slot = s;
+    acc->value = ss.value;
+    acc->value_digest = ss.digest;
+    acc->wire_bytes = 64 + ss.value.WireSize();
+    ctx_.broadcast(acc);
+    ArmSlotTimer(s);
+  }
+}
+
+}  // namespace qanaat

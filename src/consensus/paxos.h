@@ -1,0 +1,73 @@
+#ifndef QANAAT_CONSENSUS_PAXOS_H_
+#define QANAAT_CONSENSUS_PAXOS_H_
+
+#include <map>
+#include <set>
+
+#include "consensus/engine.h"
+#include "consensus/messages.h"
+
+namespace qanaat {
+
+/// Multi-Paxos over a cluster of n = 2f+1 crash-only nodes, used as
+/// Qanaat's internal consensus for crash clusters (paper §4.1: "a crash
+/// fault-tolerant protocol, e.g., (Multi-)Paxos").
+///
+/// Steady state (leader elected): ACCEPT (leader) → ACCEPTED (followers)
+/// → LEARN (leader, after f+1 including itself). Leader failure is
+/// handled by ballot takeover: the next node (ballot mod n) assumes
+/// leadership after a timeout and re-drives unfinished slots. Messages
+/// are MAC-authenticated (no signature verification cost).
+class PaxosEngine : public InternalConsensus {
+ public:
+  PaxosEngine(EngineContext ctx, int f, SimTime base_timeout_us);
+
+  void Propose(const ConsensusValue& v) override;
+  void OnMessage(NodeId from, const MessageRef& msg) override;
+  void OnTimer(uint64_t tag, uint64_t payload) override;
+
+  bool IsPrimary() const override {
+    return ctx_.cluster[ballot_ % ClusterSize()] == ctx_.self;
+  }
+  NodeId PrimaryNode() const override {
+    return ctx_.cluster[ballot_ % ClusterSize()];
+  }
+  ViewNo view() const override { return ballot_; }
+  size_t Quorum() const override { return static_cast<size_t>(f_) + 1; }
+  /// Crash nodes don't sign; cross-enterprise messages from crash
+  /// clusters sign at the sending node instead. Returns an empty proof.
+  std::vector<Signature> CommitProof(uint64_t) const override { return {}; }
+
+  uint64_t last_delivered() const { return last_delivered_; }
+
+ private:
+  struct SlotState {
+    uint64_t ballot = 0;
+    ConsensusValue value;
+    Sha256Digest digest;
+    bool have_value = false;
+    std::set<NodeId> accepted;
+    bool learned = false;
+    bool delivered = false;
+    bool timer_armed = false;
+  };
+
+  static constexpr uint64_t kTagSlotTimeout = kEngineTimerBase + 11;
+
+  void HandleAccept(NodeId from, const PaxosAcceptMsg& m);
+  void HandleAccepted(NodeId from, const PaxosAcceptedMsg& m);
+  void HandleLearn(NodeId from, const PaxosLearnMsg& m);
+  void DeliverReady();
+  void ArmSlotTimer(uint64_t slot);
+
+  int f_;
+  SimTime base_timeout_;
+  uint64_t ballot_ = 0;
+  uint64_t next_slot_ = 1;
+  uint64_t last_delivered_ = 0;
+  std::map<uint64_t, SlotState> slots_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_CONSENSUS_PAXOS_H_

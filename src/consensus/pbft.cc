@@ -1,0 +1,416 @@
+#include "consensus/pbft.h"
+
+#include <algorithm>
+
+namespace qanaat {
+
+PbftEngine::PbftEngine(EngineContext ctx, int f, SimTime base_timeout_us)
+    : InternalConsensus(std::move(ctx)),
+      f_(f),
+      base_timeout_(base_timeout_us) {}
+
+Sha256Digest PbftEngine::SignableDigest(
+    ViewNo v, uint64_t slot, const Sha256Digest& value_digest) const {
+  // Shared with CommitCertificate verification (ledger/block.h) so
+  // commit-phase signatures double as externally checkable certificates.
+  return ConsensusSignable(v, slot, value_digest);
+}
+
+void PbftEngine::SendPrePrepare(uint64_t slot, SlotState& st) {
+  if (!equivocate_) {
+    auto pp = std::make_shared<PrePrepareMsg>();
+    pp->view = view_;
+    pp->slot = slot;
+    pp->value = st.value;
+    pp->value_digest = st.digest;
+    pp->sig = ctx_.env->keystore.Sign(ctx_.self,
+                                      SignableDigest(view_, slot, st.digest));
+    pp->wire_bytes = 96 + st.value.WireSize();
+    // Backups re-verify the client signature of every transaction in the
+    // batch before preparing (PBFT request authentication).
+    if (st.value.block != nullptr &&
+        st.value.kind != ConsensusValue::Kind::kXCommit) {
+      pp->sig_verify_ops = static_cast<uint16_t>(
+          std::min<size_t>(1 + st.value.block->tx_count(), 65535));
+    }
+    ctx_.broadcast(pp);
+  } else {
+    // Byzantine primary: send a different (garbage) digest to half the
+    // replicas. Correct replicas will fail to gather matching quorums and
+    // eventually view-change.
+    int i = 0;
+    for (NodeId peer : ctx_.cluster) {
+      if (peer == ctx_.self) continue;
+      auto pp = std::make_shared<PrePrepareMsg>();
+      pp->view = view_;
+      pp->slot = slot;
+      pp->value = st.value;
+      Sha256Digest d = st.digest;
+      if (i++ % 2 == 0) d.bytes[0] ^= 0xff;
+      pp->value_digest = d;
+      pp->sig =
+          ctx_.env->keystore.Sign(ctx_.self, SignableDigest(view_, slot, d));
+      pp->wire_bytes = 96 + st.value.WireSize();
+      ctx_.send(peer, pp);
+    }
+  }
+}
+
+void PbftEngine::Propose(const ConsensusValue& v) {
+  if (!IsPrimary()) {
+    ctx_.env->metrics.Inc("pbft.propose_on_backup");
+    return;
+  }
+  uint64_t slot = next_slot_++;
+  SlotState& st = slots_[slot];
+  st.view = view_;
+  st.value = v;
+  st.digest = v.Digest();
+  st.have_preprepare = true;
+  SendPrePrepare(slot, st);
+  // The primary's own PREPARE is implicit in the PRE-PREPARE.
+  st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
+      ctx_.self, SignableDigest(view_, slot, st.digest));
+  ArmSlotTimer(slot);
+}
+
+void PbftEngine::ArmSlotTimer(uint64_t slot) {
+  SlotState& st = slots_[slot];
+  if (st.timer_armed || st.committed) return;
+  st.timer_armed = true;
+  // Exponential backoff on consecutive view changes (§4.3.4).
+  SimTime t = base_timeout_ << std::min<uint64_t>(view_change_count_, 6);
+  ctx_.start_timer(t, kTagSlotTimeout, slot);
+}
+
+void PbftEngine::OnTimer(uint64_t tag, uint64_t payload) {
+  if (tag != kTagSlotTimeout) return;
+  auto it = slots_.find(payload);
+  if (it == slots_.end()) return;
+  // timer_armed doubles as a cancellation flag: a view change clears it,
+  // invalidating timers armed in the old view.
+  if (!it->second.timer_armed) return;
+  it->second.timer_armed = false;
+  if (it->second.committed) return;
+  // Suspect the primary. A lone suspicion does not abandon the current
+  // view — the node broadcasts its VIEW-CHANGE vote but keeps
+  // participating until f+1 nodes agree (prevents a single spurious
+  // timeout under load from wedging the node).
+  StartViewChange(view_ + 1, /*lone_suspicion=*/true);
+}
+
+void PbftEngine::StartViewChange(ViewNo target, bool lone_suspicion) {
+  if (view_change_voted_.count(target)) return;
+  view_change_voted_.insert(target);
+  if (!lone_suspicion) in_view_change_ = true;
+  ctx_.env->metrics.Inc("pbft.view_change_started");
+  auto vc = std::make_shared<ViewChangeMsg>();
+  vc->new_view = target;
+  vc->last_delivered = last_delivered_;
+  for (const auto& [slot, st] : slots_) {
+    if (st.prepared && !st.delivered) {
+      PreparedProof p;
+      p.slot = slot;
+      p.view = st.view;
+      p.value = st.value;
+      p.value_digest = st.digest;
+      vc->prepared.push_back(std::move(p));
+    }
+  }
+  vc->sig = ctx_.env->keystore.Sign(
+      ctx_.self, SignableDigest(target, 0, Sha256::Hash("view-change")));
+  vc->wire_bytes = 128 + static_cast<uint32_t>(vc->prepared.size()) * 64;
+  ctx_.broadcast(vc);
+  // Count our own vote.
+  HandleViewChange(ctx_.self, *vc);
+}
+
+void PbftEngine::OnMessage(NodeId from, const MessageRef& msg) {
+  // Buffer normal-case messages that belong to a view we have not
+  // installed yet; they are replayed once the NEW-VIEW arrives.
+  ViewNo msg_view = view_;
+  switch (msg->type) {
+    case MsgType::kPrePrepare:
+      msg_view = msg->As<PrePrepareMsg>()->view;
+      break;
+    case MsgType::kPrepare:
+      msg_view = msg->As<PrepareMsg>()->view;
+      break;
+    case MsgType::kCommit:
+      msg_view = msg->As<CommitMsg>()->view;
+      break;
+    default:
+      break;
+  }
+  if (msg_view > view_) {
+    if (future_msgs_.size() < 10000) future_msgs_.emplace_back(from, msg);
+    return;
+  }
+  switch (msg->type) {
+    case MsgType::kPrePrepare:
+      HandlePrePrepare(from, *msg->As<PrePrepareMsg>());
+      break;
+    case MsgType::kPrepare:
+      HandlePrepare(from, *msg->As<PrepareMsg>());
+      break;
+    case MsgType::kCommit:
+      HandleCommit(from, *msg->As<CommitMsg>());
+      break;
+    case MsgType::kViewChange:
+      HandleViewChange(from, *msg->As<ViewChangeMsg>());
+      break;
+    case MsgType::kNewView:
+      HandleNewView(from, *msg->As<NewViewMsg>());
+      break;
+    default:
+      break;
+  }
+}
+
+void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
+  if (m.view != view_ || in_view_change_) return;
+  if (from != PrimaryNode()) return;
+  if (!ctx_.env->keystore.Verify(m.sig,
+                                 SignableDigest(m.view, m.slot,
+                                                m.value_digest))) {
+    ctx_.env->metrics.Inc("pbft.bad_sig");
+    return;
+  }
+  SlotState& st = slots_[m.slot];
+  if (st.have_preprepare && st.digest != m.value_digest) {
+    // Conflicting pre-prepare from the primary: equivocation evidence.
+    ctx_.env->metrics.Inc("pbft.equivocation_detected");
+    StartViewChange(view_ + 1, /*lone_suspicion=*/true);
+    return;
+  }
+  st.view = m.view;
+  st.value = m.value;
+  st.digest = m.value_digest;
+  st.have_preprepare = true;
+  // The primary's pre-prepare doubles as its prepare vote (its signature
+  // covers the same ⟨view, slot, digest⟩ tuple).
+  st.prepares[from] = m.sig;
+  ArmSlotTimer(m.slot);
+
+  auto prep = std::make_shared<PrepareMsg>();
+  prep->view = m.view;
+  prep->slot = m.slot;
+  prep->value_digest = m.value_digest;
+  prep->sig = ctx_.env->keystore.Sign(
+      ctx_.self, SignableDigest(m.view, m.slot, m.value_digest));
+  ctx_.broadcast(prep);
+  st.prepares[ctx_.self] = prep->sig;
+  MaybePrepared(m.slot);
+}
+
+void PbftEngine::HandlePrepare(NodeId from, const PrepareMsg& m) {
+  if (m.view != view_ || in_view_change_) return;
+  if (!ctx_.env->keystore.Verify(
+          m.sig, SignableDigest(m.view, m.slot, m.value_digest))) {
+    ctx_.env->metrics.Inc("pbft.bad_sig");
+    return;
+  }
+  SlotState& st = slots_[m.slot];
+  // Only count prepares matching the pre-prepared digest (once known).
+  if (st.have_preprepare && st.digest != m.value_digest) return;
+  if (!st.have_preprepare) {
+    // Remember the vote; digest consistency is checked when the
+    // pre-prepare arrives (mismatched votes simply never quorum).
+    st.digest = m.value_digest;
+  }
+  st.prepares[from] = m.sig;
+  ArmSlotTimer(m.slot);  // liveness: a vote for an unknown slot starts a timer
+  MaybePrepared(m.slot);
+}
+
+void PbftEngine::MaybePrepared(uint64_t slot) {
+  SlotState& st = slots_[slot];
+  if (st.prepared || !st.have_preprepare) return;
+  // PBFT: pre-prepare + 2f matching prepares (self's prepare included in
+  // the map; primary's pre-prepare counts as its prepare).
+  if (st.prepares.size() < Quorum()) return;
+  st.prepared = true;
+  auto c = std::make_shared<CommitMsg>();
+  c->view = st.view;
+  c->slot = slot;
+  c->value_digest = st.digest;
+  c->sig = ctx_.env->keystore.Sign(ctx_.self,
+                                   SignableDigest(st.view, slot, st.digest));
+  ctx_.broadcast(c);
+  st.commits[ctx_.self] = c->sig;
+  MaybeCommitted(slot);
+}
+
+void PbftEngine::HandleCommit(NodeId from, const CommitMsg& m) {
+  if (m.view != view_ || in_view_change_) return;
+  if (!ctx_.env->keystore.Verify(
+          m.sig, SignableDigest(m.view, m.slot, m.value_digest))) {
+    ctx_.env->metrics.Inc("pbft.bad_sig");
+    return;
+  }
+  SlotState& st = slots_[m.slot];
+  if (st.have_preprepare && st.digest != m.value_digest) return;
+  st.commits[from] = m.sig;
+  ArmSlotTimer(m.slot);
+  MaybeCommitted(m.slot);
+}
+
+void PbftEngine::MaybeCommitted(uint64_t slot) {
+  SlotState& st = slots_[slot];
+  if (st.committed || !st.prepared) return;
+  if (st.commits.size() < Quorum()) return;
+  st.committed = true;
+  DeliverReady();
+}
+
+void PbftEngine::DeliverReady() {
+  while (true) {
+    auto it = slots_.find(last_delivered_ + 1);
+    if (it == slots_.end() || !it->second.committed ||
+        it->second.delivered) {
+      break;
+    }
+    it->second.delivered = true;
+    ++last_delivered_;
+    ctx_.deliver(it->first, it->second.value);
+  }
+}
+
+std::vector<Signature> PbftEngine::CommitProof(uint64_t slot) const {
+  std::vector<Signature> out;
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return out;
+  for (const auto& [node, sig] : it->second.commits) out.push_back(sig);
+  return out;
+}
+
+void PbftEngine::HandleViewChange(NodeId from, const ViewChangeMsg& m) {
+  if (m.new_view <= view_) return;
+  auto stored = std::make_shared<ViewChangeMsg>(m);
+  view_changes_rcvd_[m.new_view][from] = stored;
+  auto& votes = view_changes_rcvd_[m.new_view];
+
+  // Join the view change once f+1 nodes demand it (liveness rule); at
+  // that point the node stops working in the old view.
+  if (votes.size() >= static_cast<size_t>(f_ + 1)) {
+    if (!view_change_voted_.count(m.new_view)) {
+      StartViewChange(m.new_view, /*lone_suspicion=*/false);
+    }
+    in_view_change_ = true;
+  }
+
+  // New primary: with 2f+1 view-change messages, install the view.
+  NodeId new_primary = ctx_.cluster[m.new_view % ClusterSize()];
+  if (new_primary != ctx_.self) return;
+  if (votes.size() < Quorum()) return;
+
+  auto nv = std::make_shared<NewViewMsg>();
+  nv->new_view = m.new_view;
+  // Re-propose every slot any quorum member prepared.
+  std::map<uint64_t, PreparedProof> merged;
+  for (const auto& [node, vc] : votes) {
+    for (const auto& p : vc->prepared) {
+      auto cur = merged.find(p.slot);
+      if (cur == merged.end() || cur->second.view < p.view) {
+        merged[p.slot] = p;
+      }
+    }
+  }
+  for (auto& [slot, p] : merged) nv->reproposals.push_back(p);
+  nv->sig = ctx_.env->keystore.Sign(
+      ctx_.self, SignableDigest(m.new_view, 0, Sha256::Hash("new-view")));
+  nv->wire_bytes = 128 + static_cast<uint32_t>(nv->reproposals.size()) * 96;
+  ctx_.broadcast(nv);
+  HandleNewView(ctx_.self, *nv);
+}
+
+void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
+  if (m.new_view < view_) return;
+  NodeId expected_primary = ctx_.cluster[m.new_view % ClusterSize()];
+  if (from != expected_primary) return;
+  if (!ctx_.env->keystore.Verify(
+          m.sig,
+          SignableDigest(m.new_view, 0, Sha256::Hash("new-view")))) {
+    return;
+  }
+  view_ = m.new_view;
+  in_view_change_ = false;
+  ++view_change_count_;
+  ctx_.env->metrics.Inc("pbft.view_installed");
+
+  // Reset per-slot vote state for undelivered slots; prepared slots are
+  // re-proposed by the new primary below.
+  uint64_t max_slot = last_delivered_;
+  for (auto& [slot, st] : slots_) {
+    max_slot = std::max(max_slot, slot);
+    if (st.delivered) continue;
+    st.have_preprepare = false;
+    st.prepared = false;
+    st.committed = false;
+    st.prepares.clear();
+    st.commits.clear();
+    st.timer_armed = false;
+  }
+
+  if (ctx_.self == expected_primary) {
+    next_slot_ = std::max(next_slot_, max_slot + 1);
+    std::set<uint64_t> reproposed;
+    for (const auto& p : m.reproposals) {
+      if (p.slot <= last_delivered_) continue;
+      reproposed.insert(p.slot);
+      SlotState& st = slots_[p.slot];
+      st.view = view_;
+      st.value = p.value;
+      st.digest = p.value_digest;
+      st.have_preprepare = true;
+      SendPrePrepare(p.slot, st);
+      st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
+          ctx_.self, SignableDigest(view_, p.slot, st.digest));
+      ArmSlotTimer(p.slot);
+    }
+    // Fill abandoned slots (proposed in the old view but prepared
+    // nowhere) with no-ops so later slots can deliver.
+    for (uint64_t slot = last_delivered_ + 1; slot < next_slot_; ++slot) {
+      if (reproposed.count(slot)) continue;
+      SlotState& st = slots_[slot];
+      if (st.delivered) continue;
+      st.view = view_;
+      st.value = ConsensusValue{};
+      st.digest = st.value.Digest();
+      st.have_preprepare = true;
+      SendPrePrepare(slot, st);
+      st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
+          ctx_.self, SignableDigest(view_, slot, st.digest));
+      ArmSlotTimer(slot);
+    }
+  } else {
+    // Replicas accept the re-proposals as fresh pre-prepares in the new
+    // view via the normal path (the new primary broadcast them).
+    for (const auto& p : m.reproposals) {
+      if (p.slot <= last_delivered_) continue;
+      SlotState& st = slots_[p.slot];
+      st.view = view_;
+      st.value = p.value;
+      st.digest = p.value_digest;
+      st.have_preprepare = true;
+      auto prep = std::make_shared<PrepareMsg>();
+      prep->view = view_;
+      prep->slot = p.slot;
+      prep->value_digest = p.value_digest;
+      prep->sig = ctx_.env->keystore.Sign(
+          ctx_.self, SignableDigest(view_, p.slot, p.value_digest));
+      ctx_.broadcast(prep);
+      st.prepares[ctx_.self] = prep->sig;
+      ArmSlotTimer(p.slot);
+    }
+  }
+  if (ctx_.on_view_change) {
+    ctx_.on_view_change(view_, ctx_.cluster[view_ % ClusterSize()]);
+  }
+  // Replay messages that raced ahead of this NEW-VIEW.
+  std::vector<std::pair<NodeId, MessageRef>> replay;
+  replay.swap(future_msgs_);
+  for (auto& [sender, message] : replay) OnMessage(sender, message);
+}
+
+}  // namespace qanaat

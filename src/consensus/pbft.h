@@ -1,0 +1,104 @@
+#ifndef QANAAT_CONSENSUS_PBFT_H_
+#define QANAAT_CONSENSUS_PBFT_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "consensus/engine.h"
+#include "consensus/messages.h"
+
+namespace qanaat {
+
+/// Practical Byzantine Fault Tolerance (Castro & Liskov, OSDI'99) over a
+/// cluster of n = 3f+1 ordering nodes, used as Qanaat's internal consensus
+/// for Byzantine clusters (paper §4.1).
+///
+/// Normal case: PRE-PREPARE (primary) → PREPARE (all) → COMMIT (all);
+/// a slot is prepared with 2f matching PREPAREs + the PRE-PREPARE, and
+/// committed-local with 2f+1 matching COMMITs. Slots deliver in order.
+///
+/// View change: a replica that suspects the primary (slot timer expires
+/// before commit) broadcasts VIEW-CHANGE carrying its prepared proofs;
+/// the new primary collects 2f+1, broadcasts NEW-VIEW re-proposing every
+/// prepared slot, and timeouts double on consecutive failures (§4.3.4).
+class PbftEngine : public InternalConsensus {
+ public:
+  PbftEngine(EngineContext ctx, int f, SimTime base_timeout_us);
+
+  void Propose(const ConsensusValue& v) override;
+  void OnMessage(NodeId from, const MessageRef& msg) override;
+  void OnTimer(uint64_t tag, uint64_t payload) override;
+
+  bool IsPrimary() const override {
+    return ctx_.cluster[view_ % ClusterSize()] == ctx_.self;
+  }
+  NodeId PrimaryNode() const override {
+    return ctx_.cluster[view_ % ClusterSize()];
+  }
+  ViewNo view() const override { return view_; }
+  size_t Quorum() const override { return 2 * static_cast<size_t>(f_) + 1; }
+  std::vector<Signature> CommitProof(uint64_t slot) const override;
+
+  uint64_t last_delivered() const { return last_delivered_; }
+  uint64_t view_changes() const { return view_change_count_; }
+
+  /// Byzantine-primary fault injection: when set, PRE-PREPAREs are
+  /// equivocated (different digests to different replicas), which correct
+  /// replicas must resolve via view change.
+  void SetEquivocate(bool e) { equivocate_ = e; }
+
+ private:
+  struct SlotState {
+    ViewNo view = 0;
+    ConsensusValue value;
+    Sha256Digest digest;
+    bool have_preprepare = false;
+    std::map<NodeId, Signature> prepares;  // matching digest only
+    std::map<NodeId, Signature> commits;
+    bool prepared = false;
+    bool committed = false;
+    bool delivered = false;
+    bool timer_armed = false;
+  };
+
+  static constexpr uint64_t kTagSlotTimeout = kEngineTimerBase + 1;
+
+  void HandlePrePrepare(NodeId from, const PrePrepareMsg& m);
+  void HandlePrepare(NodeId from, const PrepareMsg& m);
+  void HandleCommit(NodeId from, const CommitMsg& m);
+  void HandleViewChange(NodeId from, const ViewChangeMsg& m);
+  void HandleNewView(NodeId from, const NewViewMsg& m);
+
+  void MaybePrepared(uint64_t slot);
+  void MaybeCommitted(uint64_t slot);
+  void DeliverReady();
+  void ArmSlotTimer(uint64_t slot);
+  void StartViewChange(ViewNo target, bool lone_suspicion);
+  void SendPrePrepare(uint64_t slot, SlotState& st);
+
+  Sha256Digest SignableDigest(ViewNo v, uint64_t slot,
+                              const Sha256Digest& value_digest) const;
+
+  int f_;
+  SimTime base_timeout_;
+  ViewNo view_ = 0;
+  uint64_t next_slot_ = 1;       // primary's next proposal slot
+  uint64_t last_delivered_ = 0;
+  uint64_t view_change_count_ = 0;
+  bool in_view_change_ = false;
+  bool equivocate_ = false;
+  std::map<uint64_t, SlotState> slots_;
+  // View-change bookkeeping: new_view -> sender -> message
+  std::map<ViewNo, std::map<NodeId, std::shared_ptr<const ViewChangeMsg>>>
+      view_changes_rcvd_;
+  std::set<ViewNo> view_change_voted_;
+  // Messages for views we have not installed yet (a NEW-VIEW and the new
+  // primary's first pre-prepares can arrive reordered); replayed after
+  // the view installs.
+  std::vector<std::pair<NodeId, MessageRef>> future_msgs_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_CONSENSUS_PBFT_H_

@@ -1,0 +1,65 @@
+#include "crypto/merkle.h"
+
+namespace qanaat {
+
+Sha256Digest MerkleTree::HashPair(const Sha256Digest& a,
+                                  const Sha256Digest& b) {
+  Sha256 h;
+  h.Update(a.bytes.data(), a.bytes.size());
+  h.Update(b.bytes.data(), b.bytes.size());
+  return h.Finalize();
+}
+
+MerkleTree::MerkleTree(std::vector<Sha256Digest> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    levels_.push_back({Sha256::Hash("", 0)});
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& cur = levels_.back();
+    std::vector<Sha256Digest> next;
+    next.reserve((cur.size() + 1) / 2);
+    for (size_t i = 0; i < cur.size(); i += 2) {
+      const Sha256Digest& left = cur[i];
+      const Sha256Digest& right = (i + 1 < cur.size()) ? cur[i + 1] : cur[i];
+      next.push_back(HashPair(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+std::vector<Sha256Digest> MerkleTree::Prove(size_t index) const {
+  std::vector<Sha256Digest> proof;
+  if (index >= leaf_count_) return proof;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& cur = levels_[lvl];
+    size_t sibling = index ^ 1;
+    if (sibling >= cur.size()) sibling = index;  // duplicated last node
+    proof.push_back(cur[sibling]);
+    index /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Sha256Digest& leaf, size_t index,
+                        const std::vector<Sha256Digest>& proof,
+                        const Sha256Digest& root) {
+  Sha256Digest acc = leaf;
+  for (const auto& sib : proof) {
+    if (index % 2 == 0) {
+      acc = HashPair(acc, sib);
+    } else {
+      acc = HashPair(sib, acc);
+    }
+    index /= 2;
+  }
+  return acc == root;
+}
+
+Sha256Digest MerkleTree::RootOf(const std::vector<Sha256Digest>& leaves) {
+  return MerkleTree(leaves).Root();
+}
+
+}  // namespace qanaat

@@ -1,0 +1,84 @@
+#include "crypto/signer.h"
+
+#include <set>
+
+namespace qanaat {
+
+namespace {
+constexpr uint64_t kDomainSign = 0x5349474e;   // "SIGN"
+constexpr uint64_t kDomainShare = 0x53484152;  // "SHAR"
+}  // namespace
+
+Signature KeyStore::SignWithDomain(NodeId i, uint64_t domain,
+                                   const Sha256Digest& digest) const {
+  // secret_key(i) = (seed, i); never exposed outside this class.
+  Sha256 h;
+  h.Update(&seed_, sizeof(seed_));
+  h.Update(&domain, sizeof(domain));
+  uint32_t id = i;
+  h.Update(&id, sizeof(id));
+  h.Update(digest.bytes.data(), digest.bytes.size());
+  Sha256Digest d = h.Finalize();
+  Signature sig;
+  sig.signer = i;
+  std::memcpy(&sig.tag_lo, d.bytes.data(), 8);
+  std::memcpy(&sig.tag_hi, d.bytes.data() + 8, 8);
+  return sig;
+}
+
+Signature KeyStore::Sign(NodeId i, const Sha256Digest& digest) const {
+  return SignWithDomain(i, kDomainSign, digest);
+}
+
+bool KeyStore::Verify(const Signature& sig, const Sha256Digest& digest) const {
+  if (sig.signer == kInvalidNode) return false;
+  Signature expect = SignWithDomain(sig.signer, kDomainSign, digest);
+  return expect == sig;
+}
+
+Signature KeyStore::SignShare(NodeId i, const Sha256Digest& digest) const {
+  return SignWithDomain(i, kDomainShare, digest);
+}
+
+bool KeyStore::VerifyShare(const Signature& share,
+                           const Sha256Digest& digest) const {
+  if (share.signer == kInvalidNode) return false;
+  Signature expect = SignWithDomain(share.signer, kDomainShare, digest);
+  return expect == share;
+}
+
+Signature KeyStore::Forge(NodeId claimed_signer) const {
+  Signature sig;
+  sig.signer = claimed_signer;
+  sig.tag_lo = 0xbadbadbadbadbadbULL;
+  sig.tag_hi = 0xdeadbeefdeadbeefULL;
+  return sig;
+}
+
+void ThresholdCert::EncodeTo(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(shares.size()));
+  for (const auto& s : shares) s.EncodeTo(enc);
+}
+
+bool ThresholdCert::DecodeFrom(Decoder* dec, ThresholdCert* out) {
+  uint32_t n;
+  if (!dec->GetU32(&n)) return false;
+  if (n > 4096) return false;  // sanity bound
+  out->shares.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!Signature::DecodeFrom(dec, &out->shares[i])) return false;
+  }
+  return true;
+}
+
+bool ThresholdCert::Valid(const KeyStore& ks, const Sha256Digest& digest,
+                          size_t threshold) const {
+  std::set<NodeId> distinct;
+  for (const auto& s : shares) {
+    if (!ks.VerifyShare(s, digest)) return false;
+    distinct.insert(s.signer);
+  }
+  return distinct.size() >= threshold;
+}
+
+}  // namespace qanaat

@@ -1,0 +1,248 @@
+#include "firewall/firewall.h"
+
+namespace qanaat {
+
+// ------------------------------------------------------- ExecutionNode
+
+ExecutionNode::ExecutionNode(Env* env, const Directory* dir,
+                             const DataModel* model, int cluster_id,
+                             int index)
+    : Actor(env, "exec/" + std::to_string(cluster_id) + "/" +
+                     std::to_string(index),
+            dir->Cluster(cluster_id).region),
+      dir_(dir),
+      cfg_(dir->Cluster(cluster_id)),
+      index_(index),
+      core_(env, model, cfg_.enterprise, cfg_.shard) {}
+
+void ExecutionNode::OnMessage(NodeId /*from*/, const MessageRef& msg) {
+  if (msg->type == MsgType::kExecOrder) {
+    HandleExecOrder(*msg->As<ExecOrderMsg>());
+  }
+}
+
+void ExecutionNode::HandleExecOrder(const ExecOrderMsg& m) {
+  // Verify the commit certificate: 2f+1 ordering-node signatures over
+  // the block digest.
+  if (m.cert.block_digest != m.block->Digest() ||
+      !m.cert.Valid(env()->keystore, dir_->params.CertQuorum())) {
+    env()->metrics.Inc("exec.bad_cert");
+    return;
+  }
+  if (seen_.count(m.cert.block_digest)) return;
+  seen_.insert(m.cert.block_digest);
+
+  Status st = core_.Submit(
+      m.block, m.cert, m.alpha_here, m.gamma_here,
+      [this](const ExecutorCore::ExecResult& res) {
+        ChargeCpu(res.cpu_cost);
+        auto reply = std::make_shared<ExecReplyMsg>();
+        reply->block_digest = res.block->Digest();
+        reply->result_digest = res.result_digest;
+        if (corrupt_replies_) {
+          // Byzantine executor: stuff a bogus (potentially confidential)
+          // payload into the reply. Correct executors' replies won't
+          // match, so the top filter row can never assemble g+1 shares
+          // around this value.
+          reply->result_digest.bytes[0] ^= 0x5a;
+          reply->wire_bytes += 512;
+        }
+        reply->clients = res.clients;
+        Encoder enc;
+        enc.PutRaw(reply->block_digest.bytes.data(), 32);
+        enc.PutRaw(reply->result_digest.bytes.data(), 32);
+        reply->sig =
+            env()->keystore.SignShare(id(), Sha256::Hash(enc.buffer()));
+        reply->wire_bytes += static_cast<uint32_t>(res.clients.size() * 12);
+
+        if (cfg_.HasFirewall()) {
+          Multicast(cfg_.filter_rows.back(), reply);
+        } else {
+          // Fig 4(b): crash-only execution nodes reply straight to the
+          // ordering primary, which forwards to clients.
+          Send(cfg_.InitialPrimary(), reply);
+        }
+      });
+  if (!st.ok() && st.code() != StatusCode::kAlreadyExists) {
+    env()->metrics.Inc("exec.submit_error");
+  }
+}
+
+// ----------------------------------------------------------- FilterNode
+
+FilterNode::FilterNode(Env* env, const Directory* dir, int cluster_id,
+                       int row, int index)
+    : Actor(env, "filter/" + std::to_string(cluster_id) + "/" +
+                     std::to_string(row) + "/" + std::to_string(index),
+            dir->Cluster(cluster_id).region),
+      dir_(dir),
+      cfg_(dir->Cluster(cluster_id)),
+      row_(row),
+      index_(index),
+      top_row_(row ==
+               static_cast<int>(cfg_.filter_rows.size()) - 1) {}
+
+std::vector<NodeId> FilterNode::Above() const {
+  if (top_row_) return cfg_.execution;
+  return cfg_.filter_rows[row_ + 1];
+}
+
+std::vector<NodeId> FilterNode::Below() const {
+  if (row_ == 0) return cfg_.ordering;
+  return cfg_.filter_rows[row_ - 1];
+}
+
+void FilterNode::OnMessage(NodeId from, const MessageRef& msg) {
+  switch (msg->type) {
+    case MsgType::kExecOrder:
+      HandleExecOrder(from, msg);
+      break;
+    case MsgType::kExecReply:
+      HandleExecReply(from, *msg->As<ExecReplyMsg>());
+      break;
+    case MsgType::kReplyCert:
+      HandleReplyCert(from, msg);
+      break;
+    default:
+      ++filtered_;
+      env()->metrics.Inc("firewall.filtered_unknown");
+      break;
+  }
+}
+
+void FilterNode::HandleExecOrder(NodeId /*from*/, const MessageRef& msg) {
+  const auto& m = *msg->As<ExecOrderMsg>();
+  // Filters check the request and commit certificate are valid (§4.2)
+  // before passing them toward the execution nodes.
+  if (m.cert.block_digest != m.block->Digest() ||
+      !m.cert.Valid(env()->keystore, dir_->params.CertQuorum())) {
+    ++filtered_;
+    env()->metrics.Inc("firewall.filtered_bad_cert");
+    return;
+  }
+  if (forwarded_down_.count(m.cert.block_digest)) return;
+  forwarded_down_.insert(m.cert.block_digest);
+  if (byzantine()) {
+    // A malicious filter may corrupt what it forwards; the next row's
+    // certificate check drops the damaged copy, and the row-mate's clean
+    // copy keeps the protocol live (the h+1-per-row argument, §3.4).
+    auto evil = std::make_shared<ExecOrderMsg>(m);
+    evil->cert.sigs[0] = env()->keystore.Forge(evil->cert.sigs[0].signer);
+    Multicast(Above(), evil);
+    return;
+  }
+  Multicast(Above(), msg);
+}
+
+void FilterNode::HandleExecReply(NodeId from, const ExecReplyMsg& m) {
+  if (!top_row_) {
+    // Reply shares are only accepted by the top row, directly from the
+    // execution nodes; anything else is out-of-protocol traffic.
+    ++filtered_;
+    env()->metrics.Inc("firewall.filtered_misrouted_reply");
+    return;
+  }
+  Encoder enc;
+  enc.PutRaw(m.block_digest.bytes.data(), 32);
+  enc.PutRaw(m.result_digest.bytes.data(), 32);
+  Sha256Digest signable = Sha256::Hash(enc.buffer());
+  if (m.sig.signer != from ||
+      !env()->keystore.VerifyShare(m.sig, signable)) {
+    ++filtered_;
+    env()->metrics.Inc("firewall.filtered_bad_share");
+    return;
+  }
+  if (forwarded_up_.count(m.block_digest)) return;
+
+  auto& by_result = reply_shares_[m.block_digest];
+  by_result[m.result_digest][from] = m.sig;
+  if (!reply_bodies_.count(m.result_digest)) {
+    reply_bodies_[m.result_digest] =
+        std::make_shared<ExecReplyMsg>(m);
+  }
+
+  size_t quorum = static_cast<size_t>(dir_->params.g) + 1;
+  for (auto& [result, shares] : by_result) {
+    if (shares.size() < quorum) continue;
+    // g+1 matching replies: assemble the reply certificate (§4.2).
+    forwarded_up_.insert(m.block_digest);
+    auto cert_msg = std::make_shared<ReplyCertMsg>();
+    cert_msg->block_digest = m.block_digest;
+    cert_msg->result_digest = result;
+    cert_msg->clients = reply_bodies_[result]->clients;
+    cert_msg->cert.reply_digest = result;
+    for (auto& [node, sig] : shares) cert_msg->cert.sigs.push_back(sig);
+    cert_msg->wire_bytes =
+        96 + static_cast<uint32_t>(cert_msg->clients.size() * 12 +
+                                   cert_msg->cert.sigs.size() * 20);
+    Multicast(Below(), cert_msg);
+    reply_shares_.erase(m.block_digest);
+    return;
+  }
+}
+
+void FilterNode::HandleReplyCert(NodeId /*from*/, const MessageRef& msg) {
+  const auto& m = *msg->As<ReplyCertMsg>();
+  if (top_row_) {
+    // Certificates originate at the top row; one arriving from elsewhere
+    // is out-of-protocol.
+    ++filtered_;
+    return;
+  }
+  // Each row re-validates the certificate, so a row of correct filters
+  // drops anything a malicious filter below the top row injected.
+  Encoder enc;
+  enc.PutRaw(m.block_digest.bytes.data(), 32);
+  enc.PutRaw(m.result_digest.bytes.data(), 32);
+  Sha256Digest signable = Sha256::Hash(enc.buffer());
+  size_t quorum = static_cast<size_t>(dir_->params.g) + 1;
+  std::set<NodeId> distinct;
+  for (const auto& s : m.cert.sigs) {
+    if (!env()->keystore.VerifyShare(s, signable)) {
+      ++filtered_;
+      env()->metrics.Inc("firewall.filtered_bad_cert_share");
+      return;
+    }
+    distinct.insert(s.signer);
+  }
+  if (distinct.size() < quorum) {
+    ++filtered_;
+    env()->metrics.Inc("firewall.filtered_short_cert");
+    return;
+  }
+  if (forwarded_up_.count(m.block_digest)) return;
+  forwarded_up_.insert(m.block_digest);
+  if (byzantine()) {
+    auto evil = std::make_shared<ReplyCertMsg>(m);
+    evil->result_digest.bytes[0] ^= 0x77;  // tampered result
+    Multicast(Below(), evil);
+    return;
+  }
+  Multicast(Below(), msg);
+}
+
+// --------------------------------------------------- link restrictions
+
+void RestrictFirewallLinks(Network* net, const ClusterConfig& cfg) {
+  if (!cfg.HasFirewall()) return;
+  const int rows = static_cast<int>(cfg.filter_rows.size());
+  // Execution nodes: only the top filter row.
+  for (NodeId e : cfg.execution) {
+    net->RestrictLinks(e, cfg.filter_rows[rows - 1]);
+  }
+  // Filters: only the rows above and below.
+  for (int r = 0; r < rows; ++r) {
+    std::vector<NodeId> peers;
+    const std::vector<NodeId>& below =
+        (r == 0) ? cfg.ordering : cfg.filter_rows[r - 1];
+    const std::vector<NodeId>& above =
+        (r == rows - 1) ? cfg.execution : cfg.filter_rows[r + 1];
+    peers.insert(peers.end(), below.begin(), below.end());
+    peers.insert(peers.end(), above.begin(), above.end());
+    for (NodeId fnode : cfg.filter_rows[r]) {
+      net->RestrictLinks(fnode, peers);
+    }
+  }
+}
+
+}  // namespace qanaat

@@ -1,0 +1,100 @@
+#ifndef QANAAT_FIREWALL_FIREWALL_H_
+#define QANAAT_FIREWALL_FIREWALL_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "consensus/messages.h"
+#include "firewall/executor_core.h"
+#include "protocols/context.h"
+#include "sim/network.h"
+
+namespace qanaat {
+
+/// An execution node of a Byzantine cluster with ordering/execution
+/// separation (paper §3.4/§4.2): verifies the commit certificate coming
+/// through the firewall, appends the block to its ledger, executes it
+/// deterministically, and sends a signed reply share toward the top
+/// filter row (or, without a firewall, directly to clients and the
+/// ordering nodes — Fig 4(b)).
+class ExecutionNode : public Actor {
+ public:
+  ExecutionNode(Env* env, const Directory* dir, const DataModel* model,
+                int cluster_id, int index);
+
+  void OnMessage(NodeId from, const MessageRef& msg) override;
+
+  const ExecutorCore& core() const { return core_; }
+  ExecutorCore* mutable_core() { return &core_; }
+
+  /// Byzantine behaviour: corrupt every execution result (a node trying
+  /// to smuggle data out through replies). The firewall must filter it.
+  void SetCorruptReplies(bool c) { corrupt_replies_ = c; }
+
+ private:
+  void HandleExecOrder(const ExecOrderMsg& m);
+
+  const Directory* dir_;
+  ClusterConfig cfg_;
+  int index_;
+  ExecutorCore core_;
+  bool corrupt_replies_ = false;
+  std::set<Sha256Digest> seen_;
+};
+
+/// A privacy-firewall filter node (paper §3.4). Filters are stateless
+/// w.r.t. application data: they verify certificates and forward —
+/// downstream-to-upstream for ExecOrder (ordering → execution), and
+/// upstream-to-downstream for replies (execution → ordering), where the
+/// top row aggregates g+1 matching signed replies into a reply
+/// certificate. A row of correct filters therefore stops any message a
+/// malicious execution node crafts outside the protocol (leak
+/// containment), and the Network link restrictions model the physical
+/// wiring (each filter connects only to the rows above and below).
+class FilterNode : public Actor {
+ public:
+  FilterNode(Env* env, const Directory* dir, int cluster_id, int row,
+             int index);
+
+  void OnMessage(NodeId from, const MessageRef& msg) override;
+
+  int row() const { return row_; }
+
+  uint64_t filtered_messages() const { return filtered_; }
+
+ private:
+  void HandleExecOrder(NodeId from, const MessageRef& msg);
+  void HandleExecReply(NodeId from, const ExecReplyMsg& m);
+  void HandleReplyCert(NodeId from, const MessageRef& msg);
+
+  /// Nodes in the row toward execution (row above), or the execution
+  /// nodes themselves for the top row.
+  std::vector<NodeId> Above() const;
+  /// Nodes in the row toward ordering (row below), or the ordering nodes
+  /// for the bottom row.
+  std::vector<NodeId> Below() const;
+
+  const Directory* dir_;
+  ClusterConfig cfg_;
+  int row_;
+  int index_;
+  bool top_row_;
+  std::set<Sha256Digest> forwarded_down_;  // ExecOrder digests forwarded
+  std::set<Sha256Digest> forwarded_up_;    // reply digests forwarded
+  // Top-row aggregation: block digest -> (result digest -> shares)
+  std::map<Sha256Digest, std::map<Sha256Digest, std::map<NodeId, Signature>>>
+      reply_shares_;
+  std::map<Sha256Digest, std::shared_ptr<const ExecReplyMsg>> reply_bodies_;
+  uint64_t filtered_ = 0;
+};
+
+/// Wires the physical link restrictions of a cluster's firewall into the
+/// network: ordering ↔ row 0 ↔ row 1 ↔ ... ↔ row h ↔ execution nodes.
+/// Execution nodes and filters get NO other links — the paper's
+/// guarantee that a malicious execution node cannot talk to clients.
+void RestrictFirewallLinks(Network* net, const ClusterConfig& cfg);
+
+}  // namespace qanaat
+
+#endif  // QANAAT_FIREWALL_FIREWALL_H_

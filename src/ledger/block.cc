@@ -1,0 +1,88 @@
+#include "ledger/block.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qanaat {
+
+void Block::Seal() {
+  std::vector<Sha256Digest> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.Digest());
+  tx_root = MerkleTree::RootOf(leaves);
+  digest_valid_ = false;
+  digest_cache_ = Digest();
+}
+
+Sha256Digest Block::Digest() const {
+  if (!digest_valid_) {
+    Encoder enc;
+    id.EncodeTo(&enc);
+    enc.PutU32(attempt);
+    enc.PutRaw(tx_root.bytes.data(), tx_root.bytes.size());
+    digest_cache_ = Sha256::Hash(enc.buffer());
+    digest_valid_ = true;
+  }
+  return digest_cache_;
+}
+
+uint32_t Block::WireSize() const {
+  uint32_t sz = 96;  // id + root + framing
+  for (const auto& tx : txs) sz += tx.WireSize();
+  return sz;
+}
+
+namespace {
+bool QuorumOfValidSigs(const KeyStore& ks, const Sha256Digest& digest,
+                       const std::vector<Signature>& sigs, size_t quorum,
+                       const std::vector<NodeId>* allowed) {
+  std::set<NodeId> distinct;
+  for (const auto& s : sigs) {
+    if (!ks.Verify(s, digest)) return false;
+    if (allowed != nullptr &&
+        std::find(allowed->begin(), allowed->end(), s.signer) ==
+            allowed->end()) {
+      return false;
+    }
+    distinct.insert(s.signer);
+  }
+  return distinct.size() >= quorum;
+}
+}  // namespace
+
+Sha256Digest ValueDigestFor(uint8_t kind, const Sha256Digest& block_digest) {
+  Encoder enc;
+  enc.PutU8(kind);
+  enc.PutRaw(block_digest.bytes.data(), block_digest.bytes.size());
+  return Sha256::Hash(enc.buffer());
+}
+
+Sha256Digest ConsensusSignable(ViewNo view, uint64_t slot,
+                               const Sha256Digest& value_digest) {
+  Encoder enc;
+  enc.PutU64(view);
+  enc.PutU64(slot);
+  enc.PutRaw(value_digest.bytes.data(), value_digest.bytes.size());
+  return Sha256::Hash(enc.buffer());
+}
+
+Sha256Digest CommitCertificate::CoveredDigest() const {
+  if (direct) return block_digest;
+  return ConsensusSignable(view, slot,
+                           ValueDigestFor(value_kind, block_digest));
+}
+
+bool CommitCertificate::Valid(const KeyStore& ks, size_t quorum) const {
+  return QuorumOfValidSigs(ks, CoveredDigest(), sigs, quorum, nullptr);
+}
+
+bool CommitCertificate::ValidFrom(const KeyStore& ks, size_t quorum,
+                                  const std::vector<NodeId>& allowed) const {
+  return QuorumOfValidSigs(ks, CoveredDigest(), sigs, quorum, &allowed);
+}
+
+bool ReplyCertificate::Valid(const KeyStore& ks, size_t quorum) const {
+  return QuorumOfValidSigs(ks, reply_digest, sigs, quorum, nullptr);
+}
+
+}  // namespace qanaat

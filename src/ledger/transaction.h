@@ -1,0 +1,88 @@
+#ifndef QANAAT_LEDGER_TRANSACTION_H_
+#define QANAAT_LEDGER_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collections/collection_id.h"
+#include "common/serde.h"
+#include "common/types.h"
+#include "crypto/sha256.h"
+#include "crypto/signer.h"
+
+namespace qanaat {
+
+/// One primitive operation inside a transaction program. Transactions are
+/// small op programs executed deterministically against the multi-version
+/// store (the "business logic" of a data collection, §3.2).
+struct TxOp {
+  enum class Kind : uint8_t {
+    kRead = 0,    // read key from own collection
+    kWrite,       // write value to key in own collection
+    kAdd,         // read-modify-write: key += delta (SmallBank sendPayment)
+    kReadDep,     // read key from an order-dependent collection `dep`
+  };
+
+  Kind kind = Kind::kRead;
+  uint64_t key = 0;
+  int64_t value = 0;        // write value / add delta
+  CollectionId dep;         // for kReadDep
+
+  void EncodeTo(Encoder* enc) const {
+    enc->PutU8(static_cast<uint8_t>(kind));
+    enc->PutU64(key);
+    enc->PutI64(value);
+    dep.EncodeTo(enc);
+  }
+  static bool DecodeFrom(Decoder* dec, TxOp* out) {
+    uint8_t k;
+    if (!dec->GetU8(&k)) return false;
+    out->kind = static_cast<Kind>(k);
+    return dec->GetU64(&out->key) && dec->GetI64(&out->value) &&
+           CollectionId::DecodeFrom(dec, &out->dep);
+  }
+};
+
+/// A client request ⟨REQUEST, op, tc, c⟩_σc (paper §4.1): an op program to
+/// execute on one data collection, touching one or more of its shards.
+struct Transaction {
+  NodeId client = kInvalidNode;
+  uint64_t client_ts = 0;           // timestamp tc (request dedup)
+  CollectionId collection;          // the collection it executes on
+  std::vector<ShardId> shards;      // involved shards, sorted; >1 = cross-shard
+  EnterpriseId initiator = 0;       // enterprise whose cluster received it
+  std::vector<TxOp> ops;
+  Signature client_sig;             // over Digest()
+
+  bool IsCrossShard() const { return shards.size() > 1; }
+  /// Cross-enterprise iff the target collection is shared (non-local).
+  bool IsCrossEnterprise() const { return collection.members.size() > 1; }
+
+  /// Canonical encoding (excluding the signature).
+  void EncodeBodyTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, Transaction* out);
+  void EncodeTo(Encoder* enc) const {
+    EncodeBodyTo(enc);
+    client_sig.EncodeTo(enc);
+  }
+
+  /// Digest of the canonical body — what the client signs. Memoized:
+  /// transactions are immutable once signed. Audit paths that must
+  /// detect post-hoc tampering call InvalidateDigest() first.
+  Sha256Digest Digest() const;
+  void InvalidateDigest() const { digest_valid_ = false; }
+
+  /// Approximate wire size in bytes.
+  uint32_t WireSize() const {
+    return static_cast<uint32_t>(64 + ops.size() * 24);
+  }
+
+ private:
+  mutable Sha256Digest digest_cache_;
+  mutable bool digest_valid_ = false;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_LEDGER_TRANSACTION_H_

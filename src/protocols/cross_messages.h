@@ -1,0 +1,100 @@
+#ifndef QANAAT_PROTOCOLS_CROSS_MESSAGES_H_
+#define QANAAT_PROTOCOLS_CROSS_MESSAGES_H_
+
+#include <vector>
+
+#include "collections/tx_id.h"
+#include "crypto/signer.h"
+#include "ledger/block.h"
+#include "sim/message.h"
+
+namespace qanaat {
+
+/// ⟨PREPARE, ID, d, m⟩_σPc — coordinator cluster → involved clusters
+/// (paper §4.3, Fig 5). Carries the block and the coordinator cluster's
+/// commit certificate from its internal consensus ("signed by
+/// local-majority of the cluster").
+struct XPrepareMsg : Message {
+  XPrepareMsg() : Message(MsgType::kXPrepare) {}
+  int coord_cluster = 0;
+  BlockPtr block;                 // with ID assigned by the coordinator
+  Sha256Digest block_digest;
+  CommitCertificate coord_cert;   // local-majority evidence
+};
+
+/// ⟨PREPARED, IDc, [IDi,] d⟩ — involved cluster → coordinator primary.
+/// From a validating node it carries that node's signature; from a
+/// primary that ran internal consensus it carries the cluster's commit
+/// certificate and the locally assigned ID.
+struct XPreparedMsg : Message {
+  XPreparedMsg() : Message(MsgType::kXPrepared) {}
+  int from_cluster = 0;
+  Sha256Digest block_digest;
+  bool has_assignment = false;
+  ShardAssignment assignment;     // IDi (+γi) assigned by the cluster
+  bool is_cluster_cert = false;   // true: cert below; false: sig below
+  CommitCertificate cluster_cert;
+  Signature sig;
+  bool abort = false;             // involved cluster votes abort
+};
+
+/// ⟨COMMIT, IDc, IDi, ..., d⟩_σPc — coordinator → every node of all
+/// involved clusters. full_id concatenates the per-cluster IDs; carries
+/// the prepared evidence for cross-enterprise transactions (§4.3.1).
+struct XCommitMsg : Message {
+  XCommitMsg() : Message(MsgType::kXCommit) {}
+  int coord_cluster = 0;
+  BlockPtr block;
+  Sha256Digest block_digest;      // digest of the ordered block
+  CommitCertificate coord_cert;   // coordinator's commit-decision cert
+  /// Per-shard ⟨α, γ⟩ assignments collected during the prepared phase.
+  std::vector<ShardAssignment> assignments;
+  bool is_abort = false;
+};
+
+/// ⟨PROPOSE, ID, d, m⟩_σπ(Pi) — flattened protocols (paper §4.4, Fig 6):
+/// initiator primary → every node of all involved clusters.
+struct FProposeMsg : Message {
+  FProposeMsg() : Message(MsgType::kFPropose) {}
+  int initiator_cluster = 0;
+  BlockPtr block;
+  Sha256Digest block_digest;
+  Signature sig;                  // initiator primary's signature
+};
+
+/// ⟨ACCEPT, IDi, [IDj,] d, r⟩_σr — flattened accept. From the primary of
+/// an involved cluster it also announces IDj for that cluster's shard.
+struct FAcceptMsg : Message {
+  FAcceptMsg() : Message(MsgType::kFAccept) {}
+  int from_cluster = 0;
+  Sha256Digest block_digest;
+  bool has_assignment = false;
+  ShardAssignment assignment;     // IDj (+γj) announced by a primary
+  Signature sig;
+};
+
+/// ⟨COMMIT, IDi, IDj, ..., d, r⟩_σr — flattened commit vote. In the
+/// crash-only cross-shard intra-enterprise fast path (§4.4.2) this is
+/// instead the initiator primary's commit instruction and carries the
+/// collected per-shard assignments.
+struct FCommitMsg : Message {
+  FCommitMsg() : Message(MsgType::kFCommit) {}
+  int from_cluster = 0;
+  Sha256Digest block_digest;
+  Signature sig;
+  bool fast_path = false;
+  std::vector<ShardAssignment> assignments;
+};
+
+/// commit-query / prepared-query (§4.3.4): a node that timed out waiting
+/// for a coordinator/involved cluster asks all nodes of that cluster.
+struct QueryMsg : Message {
+  explicit QueryMsg(MsgType t) : Message(t) {}
+  int from_cluster = 0;
+  Sha256Digest block_digest;
+  Signature sig;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_PROTOCOLS_CROSS_MESSAGES_H_

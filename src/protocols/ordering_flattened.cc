@@ -1,0 +1,359 @@
+// Flattened cross-cluster consensus (paper §4.4, Fig 6): no coordinator —
+// the initiator primary PROPOSEs to every node of all involved clusters,
+// primaries of the initiator enterprise's other clusters announce their
+// shard's ⟨α, γ⟩ in their ACCEPT, every node multicasts ACCEPT and then
+// COMMIT, and a node commits on matching votes from a local-majority of
+// every involved cluster. Crash-only cross-shard intra-enterprise
+// transactions use the cheaper centralized fast path of §4.4.2.
+
+#include <algorithm>
+
+#include "protocols/ordering_node.h"
+
+namespace qanaat {
+
+namespace {
+Sha256Digest AcceptSignable(const Sha256Digest& d) {
+  Encoder enc;
+  enc.PutU8(0xFA);
+  enc.PutRaw(d.bytes.data(), d.bytes.size());
+  return Sha256::Hash(enc.buffer());
+}
+}  // namespace
+
+bool OrderingNode::FlattenedCftFastPath(const XState& xs) const {
+  return cfg_.failure_model == FailureModel::kCrash &&
+         !xs.is_cross_enterprise && xs.is_cross_shard;
+}
+
+void OrderingNode::StartFlattened(const BlockPtr& block) {
+  const Transaction& probe = block->txs.front();
+  int initiator = CoordinatorClusterOf(probe.collection, probe.shards);
+  if (initiator != cfg_.cluster_id) {
+    for (const auto& tx : block->txs) {
+      auto req = std::make_shared<RequestMsg>();
+      req->tx = tx;
+      req->wire_bytes = 64 + tx.WireSize();
+      Send(dir_->Cluster(initiator).InitialPrimary(), req);
+    }
+    return;
+  }
+
+  // Concurrency rule (§4.4.2): no concurrent uncommitted request sharing
+  // >= 2 shards.
+  if (probe.shards.size() > 1) {
+    if (HasCrossShardConflict(block, probe.shards)) {
+      deferred_cross_.push_back(DeferredCross{block});
+      env()->metrics.Inc("cross.deferred_conflict");
+      return;
+    }
+    active_cross_[block->Digest()] = probe.shards;
+  }
+
+  XState& xs = StateFor(block->Digest());
+  xs.block = block;
+  xs.involved = InvolvedClusters(probe.collection, probe.shards);
+  xs.is_cross_enterprise = probe.collection.members.size() > 1;
+  xs.is_cross_shard = probe.shards.size() > 1;
+  xs.i_coordinate = true;
+  xs.assignments[block->id.alpha.shard] =
+      ShardAssignment{cfg_.cluster_id, block->id.alpha, block->id.gamma};
+  own_pending_.insert({ShardRef{block->id.alpha.collection,
+                                block->id.alpha.shard},
+                       block->id.alpha.n});
+
+  auto prop = std::make_shared<FProposeMsg>();
+  prop->initiator_cluster = cfg_.cluster_id;
+  prop->block = block;
+  prop->block_digest = xs.digest;
+  prop->sig = env()->keystore.Sign(id(), xs.digest);
+  prop->wire_bytes = 128 + block->WireSize();
+  for (int c : xs.involved) {
+    for (NodeId n : dir_->Cluster(c).ordering) {
+      if (n != id()) Send(n, prop);
+    }
+  }
+  ArmCrossTimer(xs.digest);
+  SendFAccept(xs);
+}
+
+void OrderingNode::HandleFPropose(NodeId from, const FProposeMsg& m) {
+  const ClusterConfig& init = dir_->Cluster(m.initiator_cluster);
+  // Provenance: signed by a member of the initiator cluster (the primary
+  // may have changed; membership is what a remote node can check).
+  if (std::find(init.ordering.begin(), init.ordering.end(), from) ==
+          init.ordering.end() ||
+      m.sig.signer != from ||
+      !env()->keystore.Verify(m.sig, m.block_digest) ||
+      m.block->Digest() != m.block_digest) {
+    env()->metrics.Inc("cross.bad_propose");
+    return;
+  }
+  XState& xs = StateFor(m.block_digest);
+  if (xs.done) return;
+  xs.block = m.block;
+  const Transaction& probe = m.block->txs.front();
+  xs.involved = InvolvedClusters(probe.collection, probe.shards);
+  xs.is_cross_enterprise = probe.collection.members.size() > 1;
+  xs.is_cross_shard = probe.shards.size() > 1;
+  // Replies to clients come from the initiator cluster — every node of
+  // it, so the client can gather f+1 matching results.
+  xs.i_coordinate = (m.initiator_cluster == cfg_.cluster_id);
+  xs.assignments[m.block->id.alpha.shard] = ShardAssignment{
+      m.initiator_cluster, m.block->id.alpha, m.block->id.gamma};
+  ArmCrossTimer(m.block_digest);
+
+  // Assigner clusters on other shards assign their own ID and announce
+  // it in their primary's ACCEPT (§4.4.2, §4.4.3).
+  if (xs.is_cross_shard &&
+      IAmShardAssigner(probe.collection, init.enterprise) &&
+      cfg_.cluster_id != m.initiator_cluster && engine_->IsPrimary() &&
+      !xs.assignments.count(cfg_.shard)) {
+    ShardAssignment mine;
+    mine.cluster = cfg_.cluster_id;
+    mine.alpha = NextAlpha(probe.collection);
+    mine.gamma = CaptureGamma(probe.collection);
+    xs.assignments[cfg_.shard] = mine;
+
+    auto acc = std::make_shared<FAcceptMsg>();
+    acc->from_cluster = cfg_.cluster_id;
+    acc->block_digest = m.block_digest;
+    acc->has_assignment = true;
+    acc->assignment = mine;
+    acc->sig = env()->keystore.Sign(id(), AcceptSignable(m.block_digest));
+    acc->wire_bytes = 160;
+    if (FlattenedCftFastPath(xs)) {
+      // Fast path: announce to own cluster nodes; votes go to the
+      // initiator primary only.
+      for (NodeId n : cfg_.ordering) {
+        if (n != id()) Send(n, acc);
+      }
+      Send(init.InitialPrimary(), acc);
+      xs.sent_accept = true;
+      return;
+    }
+    for (int c : xs.involved) {
+      for (NodeId n : dir_->Cluster(c).ordering) {
+        if (n != id()) Send(n, acc);
+      }
+    }
+    xs.sent_accept = true;
+    xs.accepts[cfg_.cluster_id][id()] = acc->sig;
+    MaybeSendFCommit(xs);
+    return;
+  }
+  SendFAccept(xs);
+}
+
+void OrderingNode::SendFAccept(XState& xs) {
+  if (xs.sent_accept || xs.done || xs.block == nullptr) return;
+  const Transaction& probe = xs.block->txs.front();
+  if (FlattenedCftFastPath(xs)) {
+    // Fast path (§4.4.2): a node endorses its own shard's order as soon
+    // as it knows it; only the initiator primary assembles the rest.
+    bool involves_us =
+        std::find(probe.shards.begin(), probe.shards.end(), cfg_.shard) !=
+        probe.shards.end();
+    if (involves_us && !xs.assignments.count(cfg_.shard)) return;
+  } else {
+    // General path: a node votes once it knows the block and the ⟨α, γ⟩
+    // assignment of every involved shard.
+    for (ShardId s : probe.shards) {
+      if (!xs.assignments.count(s)) return;
+    }
+  }
+  // Validate the assignment on our own chain before voting: idempotent
+  // for the same block, refused for a rival claim to the slot.
+  auto mine = xs.assignments.find(cfg_.shard);
+  if (mine != xs.assignments.end() &&
+      mine->second.cluster != cfg_.cluster_id) {
+    const LocalPart& alpha = mine->second.alpha;
+    ShardRef ref{alpha.collection, alpha.shard};
+    if (own_pending_.count({ref, alpha.n})) {
+      env()->metrics.Inc("cross.conflict_nack");
+      return;  // never endorse a rival claim to our in-flight sequence
+    }
+    auto claim = validated_digest_.find({ref, alpha.n});
+    if (claim != validated_digest_.end()) {
+      if (claim->second != xs.digest) {
+        env()->metrics.Inc("cross.conflict_nack");
+        return;
+      }
+    } else if (alpha.n <= CommittedHeadOf(alpha.collection)) {
+      env()->metrics.Inc("cross.stale_accept");
+      return;
+    } else {
+      validated_digest_[{ref, alpha.n}] = xs.digest;
+    }
+  }
+  xs.sent_accept = true;
+
+  auto acc = std::make_shared<FAcceptMsg>();
+  acc->from_cluster = cfg_.cluster_id;
+  acc->block_digest = xs.digest;
+  acc->sig = env()->keystore.Sign(id(), AcceptSignable(xs.digest));
+  if (FlattenedCftFastPath(xs)) {
+    acc->sig_verify_ops = 0;
+    Send(dir_->Cluster(xs.involved.front()).InitialPrimary(), acc);
+    // In the fast path only the initiator primary tallies votes.
+    if (engine_->IsPrimary() && xs.i_coordinate) {
+      xs.accepts[cfg_.cluster_id][id()] = acc->sig;
+      MaybeSendFCommit(xs);
+    }
+    return;
+  }
+  for (int c : xs.involved) {
+    for (NodeId n : dir_->Cluster(c).ordering) {
+      if (n != id()) Send(n, acc);
+    }
+  }
+  xs.accepts[cfg_.cluster_id][id()] = acc->sig;
+  MaybeSendFCommit(xs);
+}
+
+void OrderingNode::HandleFAccept(NodeId from, const FAcceptMsg& m) {
+  XState& xs = StateFor(m.block_digest);
+  if (xs.done) return;
+  const ClusterConfig& sender = dir_->Cluster(m.from_cluster);
+  if (std::find(sender.ordering.begin(), sender.ordering.end(), from) ==
+          sender.ordering.end() ||
+      m.sig.signer != from ||
+      !env()->keystore.Verify(m.sig, AcceptSignable(m.block_digest))) {
+    env()->metrics.Inc("cross.bad_accept");
+    return;
+  }
+  if (m.has_assignment) {
+    auto it = xs.assignments.find(m.assignment.alpha.shard);
+    if (it == xs.assignments.end()) {
+      xs.assignments[m.assignment.alpha.shard] = m.assignment;
+    } else if (!(it->second.alpha == m.assignment.alpha)) {
+      env()->metrics.Inc("cross.conflicting_assignment");
+      return;
+    }
+  }
+  xs.accepts[m.from_cluster][from] = m.sig;
+
+  if (xs.block != nullptr && FlattenedCftFastPath(xs)) {
+    SendFAccept(xs);  // vote toward the initiator primary
+    if (xs.i_coordinate && engine_->IsPrimary()) MaybeSendFCommit(xs);
+    return;
+  }
+  SendFAccept(xs);  // we may have been waiting for an assignment
+  MaybeSendFCommit(xs);
+}
+
+void OrderingNode::MaybeSendFCommit(XState& xs) {
+  if (xs.sent_commit || xs.done || xs.block == nullptr || !xs.sent_accept) {
+    return;
+  }
+  size_t quorum = dir_->params.LocalMajority();
+  for (int c : xs.involved) {
+    auto it = xs.accepts.find(c);
+    if (it == xs.accepts.end() || it->second.size() < quorum) return;
+  }
+  const Transaction& probe = xs.block->txs.front();
+  for (ShardId s : probe.shards) {
+    if (!xs.assignments.count(s)) return;
+  }
+  xs.sent_commit = true;
+
+  auto cm = std::make_shared<FCommitMsg>();
+  cm->from_cluster = cfg_.cluster_id;
+  cm->block_digest = xs.digest;
+  cm->sig = env()->keystore.Sign(id(), xs.digest);
+
+  if (FlattenedCftFastPath(xs)) {
+    // §4.4.2 fast path: the initiator primary alone disseminates the
+    // commit instruction, carrying the collected assignments.
+    cm->fast_path = true;
+    cm->sig_verify_ops = 1;
+    for (const auto& [s, a] : xs.assignments) cm->assignments.push_back(a);
+    cm->wire_bytes =
+        96 + static_cast<uint32_t>(cm->assignments.size()) * 48;
+    for (int c : xs.involved) {
+      for (NodeId n : dir_->Cluster(c).ordering) {
+        if (n != id()) Send(n, cm);
+      }
+    }
+    // Commit locally.
+    CommitCertificate cert;
+    cert.block_digest = xs.digest;
+    cert.direct = true;
+    cert.sigs.push_back(cm->sig);
+    auto mine = xs.assignments.find(cfg_.shard);
+    if (mine != xs.assignments.end()) {
+      CommitBlock(xs.block, cert, mine->second.alpha, mine->second.gamma,
+                  /*reply_from_here=*/true);
+    }
+    FinishCross(xs, true);
+    return;
+  }
+
+  for (int c : xs.involved) {
+    for (NodeId n : dir_->Cluster(c).ordering) {
+      if (n != id()) Send(n, cm);
+    }
+  }
+  xs.commit_votes[cfg_.cluster_id][id()] = cm->sig;
+  MaybeFCommitDone(xs);
+}
+
+void OrderingNode::HandleFCommit(NodeId from, const FCommitMsg& m) {
+  XState& xs = StateFor(m.block_digest);
+  if (xs.done) return;
+  const ClusterConfig& sender = dir_->Cluster(m.from_cluster);
+  if (std::find(sender.ordering.begin(), sender.ordering.end(), from) ==
+          sender.ordering.end() ||
+      m.sig.signer != from ||
+      !env()->keystore.Verify(m.sig, m.block_digest)) {
+    env()->metrics.Inc("cross.bad_fcommit");
+    return;
+  }
+
+  if (m.fast_path) {
+    // Crash-only fast path: trust the initiator primary's instruction.
+    if (xs.block == nullptr) return;  // propose not yet seen
+    for (const auto& a : m.assignments) {
+      xs.assignments[a.alpha.shard] = a;
+    }
+    CommitCertificate cert;
+    cert.block_digest = m.block_digest;
+    cert.direct = true;
+    cert.sigs.push_back(m.sig);
+    auto mine = xs.assignments.find(cfg_.shard);
+    if (mine != xs.assignments.end()) {
+      CommitBlock(xs.block, cert, mine->second.alpha, mine->second.gamma,
+                  /*reply_from_here=*/false);
+    }
+    FinishCross(xs, true);
+    return;
+  }
+
+  xs.commit_votes[m.from_cluster][from] = m.sig;
+  MaybeFCommitDone(xs);
+}
+
+void OrderingNode::MaybeFCommitDone(XState& xs) {
+  if (xs.done || !xs.sent_commit || xs.block == nullptr) return;
+  size_t quorum = dir_->params.LocalMajority();
+  for (int c : xs.involved) {
+    auto it = xs.commit_votes.find(c);
+    if (it == xs.commit_votes.end() || it->second.size() < quorum) return;
+  }
+  // Commit certificate: our own cluster's commit votes (they sign the
+  // block digest directly).
+  CommitCertificate cert;
+  cert.block_digest = xs.digest;
+  cert.direct = true;
+  for (const auto& [node, sig] : xs.commit_votes[cfg_.cluster_id]) {
+    cert.sigs.push_back(sig);
+  }
+  auto mine = xs.assignments.find(cfg_.shard);
+  if (mine != xs.assignments.end()) {
+    CommitBlock(xs.block, cert, mine->second.alpha, mine->second.gamma,
+                /*reply_from_here=*/xs.i_coordinate);
+  }
+  FinishCross(xs, true);
+}
+
+}  // namespace qanaat

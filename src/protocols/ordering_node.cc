@@ -1,0 +1,595 @@
+#include "protocols/ordering_node.h"
+
+#include <algorithm>
+
+#include "consensus/paxos.h"
+#include "consensus/pbft.h"
+
+namespace qanaat {
+
+OrderingNode::OrderingNode(Env* env, const Directory* dir,
+                           const DataModel* model, int cluster_id, int index)
+    : Actor(env, "order/" + std::to_string(cluster_id) + "/" +
+                     std::to_string(index),
+            dir->Cluster(cluster_id).region),
+      dir_(dir),
+      model_(model),
+      cfg_(dir->Cluster(cluster_id)),
+      index_(index),
+      exec_(env, model, cfg_.enterprise, cfg_.shard) {
+  EngineContext ctx;
+  ctx.env = env;
+  ctx.self = id();
+  ctx.cluster = cfg_.ordering;
+  ctx.self_index = index;
+  ctx.send = [this](NodeId to, MessageRef m) { Send(to, std::move(m)); };
+  ctx.broadcast = [this](MessageRef m) {
+    for (NodeId peer : cfg_.ordering) {
+      if (peer != id()) Send(peer, m);
+    }
+  };
+  ctx.start_timer = [this](SimTime d, uint64_t tag, uint64_t payload) {
+    StartTimer(d, tag, payload);
+  };
+  ctx.deliver = [this](uint64_t slot, const ConsensusValue& v) {
+    OnDecide(slot, v);
+  };
+  if (cfg_.failure_model == FailureModel::kByzantine) {
+    engine_ = std::make_unique<PbftEngine>(
+        std::move(ctx), dir_->params.f, dir_->params.consensus_timeout_us);
+  } else {
+    engine_ = std::make_unique<PaxosEngine>(
+        std::move(ctx), dir_->params.f, dir_->params.consensus_timeout_us);
+  }
+}
+
+SimTime OrderingNode::CostOf(const Message& msg) const {
+  if (msg.type == MsgType::kRequest) {
+    SimTime auth = cfg_.failure_model == FailureModel::kCrash
+                       ? env()->costs.mac_verify_us
+                       : env()->costs.verify_sig_us;
+    SimTime pf = dir_->params.use_firewall
+                     ? env()->costs.pf_tx_overhead_us
+                     : 0;
+    return env()->costs.base_proc_us + auth + pf;
+  }
+  return Actor::CostOf(msg);
+}
+
+// --------------------------------------------------------------- intake
+
+void OrderingNode::OnMessage(NodeId from, const MessageRef& msg) {
+  switch (msg->type) {
+    case MsgType::kRequest:
+      HandleRequest(from, *msg->As<RequestMsg>());
+      break;
+    case MsgType::kPrePrepare:
+    case MsgType::kPrepare:
+    case MsgType::kCommit:
+    case MsgType::kViewChange:
+    case MsgType::kNewView:
+    case MsgType::kPaxosAccept:
+    case MsgType::kPaxosAccepted:
+    case MsgType::kPaxosLearn:
+      engine_->OnMessage(from, msg);
+      break;
+    case MsgType::kXPrepare:
+      HandleXPrepare(from, *msg->As<XPrepareMsg>());
+      break;
+    case MsgType::kXPrepared:
+      HandleXPrepared(from, *msg->As<XPreparedMsg>());
+      break;
+    case MsgType::kXCommit:
+    case MsgType::kXAbort:
+      HandleXCommit(from, *msg->As<XCommitMsg>());
+      break;
+    case MsgType::kFPropose:
+      HandleFPropose(from, *msg->As<FProposeMsg>());
+      break;
+    case MsgType::kFAccept:
+      HandleFAccept(from, *msg->As<FAcceptMsg>());
+      break;
+    case MsgType::kFCommit:
+      HandleFCommit(from, *msg->As<FCommitMsg>());
+      break;
+    case MsgType::kCommitQuery:
+    case MsgType::kPreparedQuery:
+      HandleQuery(from, *msg->As<QueryMsg>());
+      break;
+    case MsgType::kReplyCert:
+      ForwardReplyCert(*msg->As<ReplyCertMsg>());
+      break;
+    case MsgType::kExecReply: {
+      // Fig 4(b) path: crash-only execution nodes report to the primary,
+      // which forwards a plain reply to the client machines.
+      const auto& m = *msg->As<ExecReplyMsg>();
+      auto reply = std::make_shared<ReplyMsg>();
+      reply->block_digest = m.block_digest;
+      reply->result_digest = m.result_digest;
+      reply->clients = m.clients;
+      reply->sig = env()->keystore.Sign(id(), m.result_digest);
+      std::set<NodeId> machines;
+      for (const auto& [c, ts] : m.clients) machines.insert(c);
+      for (NodeId c : machines) Send(c, reply);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void OrderingNode::OnTimer(uint64_t tag, uint64_t payload) {
+  if (tag >= InternalConsensus::kEngineTimerBase) {
+    engine_->OnTimer(tag, payload);
+    return;
+  }
+  if (tag == kTagBatch) {
+    if (payload >= flow_by_epoch_.size()) return;
+    const FlowKey key = flow_by_epoch_[payload];
+    auto it = flows_.find(key);
+    if (it == flows_.end()) return;
+    it->second.timer_armed = false;
+    if (!it->second.pending.empty()) CloseBatch(key);
+    return;
+  }
+  if (tag == kTagRetry) {
+    RunRetry(payload);
+    return;
+  }
+  if (tag == kTagCross) {
+    auto it = cross_timer_digest_.find(payload);
+    if (it == cross_timer_digest_.end()) return;
+    Sha256Digest d = it->second;
+    cross_timer_digest_.erase(it);
+    auto xit = xstates_.find(d);
+    if (xit == xstates_.end() || xit->second.done) return;
+    XState& xs = xit->second;
+    xs.timer_armed = false;
+    env()->metrics.Inc("cross.timeout");
+    // §4.3.4: query the coordinator/initiator cluster for the outcome.
+    auto q = std::make_shared<QueryMsg>(MsgType::kCommitQuery);
+    q->from_cluster = cfg_.cluster_id;
+    q->block_digest = d;
+    q->sig = env()->keystore.Sign(id(), d);
+    int coord = xs.involved.empty() ? cfg_.cluster_id : xs.involved.front();
+    if (xs.block) {
+      coord = CoordinatorClusterOf(xs.block->id.alpha.collection,
+                                   AllShards(xs));
+    }
+    Multicast(dir_->Cluster(coord).ordering, q);
+    ArmCrossTimer(d);
+    return;
+  }
+}
+
+std::vector<ShardId> OrderingNode::AllShards(const XState& xs) {
+  std::vector<ShardId> out;
+  out.reserve(xs.assignments.size());
+  for (const auto& [s, a] : xs.assignments) out.push_back(s);
+  if (out.empty() && xs.block) {
+    out = xs.block->txs.empty() ? std::vector<ShardId>{0}
+                                : xs.block->txs.front().shards;
+  }
+  return out;
+}
+
+void OrderingNode::HandleRequest(NodeId from, const RequestMsg& m) {
+  const Transaction& tx = m.tx;
+  // Authorization + signature (paper §4.1: "valid signed request from an
+  // authorized client").
+  if (!env()->keystore.Verify(tx.client_sig, tx.Digest())) {
+    env()->metrics.Inc("order.bad_request_sig");
+    return;
+  }
+  if (!engine_->IsPrimary()) {
+    // Relay to the current primary (§4.3.4 client retransmission path).
+    if (m.is_retransmission) {
+      auto it = reply_cache_.end();
+      // Re-send a cached reply if we executed it already.
+      for (auto& [digest, cached] : reply_cache_) {
+        for (auto& [c, ts] : cached->clients) {
+          if (c == tx.client && ts == tx.client_ts) {
+            it = reply_cache_.find(digest);
+            break;
+          }
+        }
+        if (it != reply_cache_.end()) break;
+      }
+      if (it != reply_cache_.end()) {
+        Send(tx.client, it->second);
+        return;
+      }
+    }
+    Send(engine_->PrimaryNode(), std::make_shared<RequestMsg>(m));
+    return;
+  }
+  if (seen_requests_.count({tx.client, tx.client_ts})) {
+    env()->metrics.Inc("order.duplicate_request");
+    return;
+  }
+  // Write rule (§3.2): the transaction must target a collection its
+  // initiating enterprise is involved in.
+  Status ok = model_->ValidateWrite(tx.collection, cfg_.enterprise);
+  if (!ok.ok()) {
+    env()->metrics.Inc("order.rejected_write_rule");
+    return;
+  }
+  seen_requests_.insert({tx.client, tx.client_ts});
+
+  FlowKey key{tx.collection, tx.shards};
+  Flow& flow = flows_[key];
+  if (flow.pending.empty() && !flow.timer_armed) {
+    flow.timer_armed = true;
+    flow.epoch = flow_by_epoch_.size();
+    flow_by_epoch_.push_back(key);
+    SimTime window = IsCross(key) ? dir_->params.cross_batch_timeout_us
+                                  : dir_->params.batch_timeout_us;
+    StartTimer(window, kTagBatch, flow.epoch);
+  }
+  flow.pending.push_back(tx);
+  if (flow.pending.size() >= static_cast<size_t>(dir_->params.batch_size)) {
+    CloseBatch(key);
+  }
+}
+
+LocalPart OrderingNode::NextAlpha(const CollectionId& c) {
+  LocalPart a;
+  a.collection = c;
+  a.shard = cfg_.shard;
+  // In optimistic (non-designated) mode another enterprise's commits may
+  // have advanced the chain past our own assignment counter.
+  SeqNo base = std::max(next_seq_[c], StateOfCollection(c));
+  a.n = base + 1;
+  next_seq_[c] = a.n;
+  return a;
+}
+
+SeqNo OrderingNode::StateOfCollection(const CollectionId& c) const {
+  auto it = state_.find(c);
+  return it == state_.end() ? 0 : it->second;
+}
+
+SeqNo OrderingNode::CommittedHeadOf(const CollectionId& c) const {
+  return exec_.ledger().HeadOf(ShardRef{c, cfg_.shard});
+}
+
+std::vector<GammaEntry> OrderingNode::CaptureGamma(
+    const CollectionId& c) const {
+  // §4.1: the global part includes the current state of *all* collections
+  // d_c is order-dependent on, because the read-set is unknown until
+  // execution.
+  std::vector<GammaEntry> gamma;
+  for (const CollectionId& dep : model_->OrderDependenciesOf(c)) {
+    auto it = state_.find(dep);
+    SeqNo m = (it == state_.end()) ? 0 : it->second;
+    gamma.push_back(GammaEntry{dep, m});
+  }
+  return gamma;
+}
+
+BlockPtr OrderingNode::MakeBlock(const FlowKey& key,
+                                 std::vector<Transaction> txs,
+                                 uint32_t attempt) {
+  auto block = std::make_shared<Block>();
+  block->attempt = attempt;
+  block->id.alpha = NextAlpha(key.collection);
+  block->id.gamma = CaptureGamma(key.collection);
+  block->txs = std::move(txs);
+  block->Seal();
+  // Batching cost: hashing/assembling the block.
+  const_cast<OrderingNode*>(this)->ChargeCpu(
+      static_cast<SimTime>(block->txs.size()) * env()->costs.batch_tx_us);
+  return block;
+}
+
+void OrderingNode::CloseBatch(const FlowKey& key) {
+  Flow& flow = flows_[key];
+  std::vector<Transaction> txs = std::move(flow.pending);
+  flow.pending.clear();
+  flow.timer_armed = false;
+  if (txs.empty()) return;
+
+  BlockPtr block = MakeBlock(key, std::move(txs));
+  if (!IsCross(key)) {
+    // Intra-shard intra-enterprise: internal consensus commits directly.
+    ConsensusValue v = ConsensusValue::ForBlock(block);
+    engine_->Propose(v);
+    return;
+  }
+  if (dir_->params.family == ProtocolFamily::kCoordinator) {
+    StartCoordinated(block);
+  } else {
+    StartFlattened(block);
+  }
+}
+
+// --------------------------------------------------- consensus plumbing
+
+CommitCertificate OrderingNode::MakeCert(uint64_t slot,
+                                         const Sha256Digest& digest,
+                                         ConsensusValue::Kind kind) {
+  CommitCertificate cert;
+  cert.block_digest = digest;
+  cert.view = engine_->view();
+  cert.slot = slot;
+  cert.value_kind = static_cast<uint8_t>(kind);
+  cert.sigs = engine_->CommitProof(slot);
+  if (cert.sigs.empty()) {
+    // Crash clusters don't exchange signatures during consensus; the
+    // appending node certifies the decided block itself.
+    cert.direct = true;
+    cert.sigs.push_back(env()->keystore.Sign(id(), digest));
+  }
+  return cert;
+}
+
+void OrderingNode::OnDecide(uint64_t slot, const ConsensusValue& v) {
+  switch (v.kind) {
+    case ConsensusValue::Kind::kBlock: {
+      CommitCertificate cert =
+          MakeCert(slot, v.block_digest, ConsensusValue::Kind::kBlock);
+      CommitBlock(v.block, std::move(cert), v.block->id.alpha,
+                  v.block->id.gamma, /*reply_from_here=*/true);
+      break;
+    }
+    case ConsensusValue::Kind::kXOrder:
+      OnXOrderDecided(slot, v);
+      break;
+    case ConsensusValue::Kind::kXCommit:
+      OnXCommitDecided(slot, v, /*is_abort=*/false);
+      break;
+    case ConsensusValue::Kind::kXAbort:
+      OnXCommitDecided(slot, v, /*is_abort=*/true);
+      break;
+    case ConsensusValue::Kind::kNoop:
+      break;
+  }
+}
+
+// ------------------------------------------------- commit & execution
+
+void OrderingNode::CommitBlock(const BlockPtr& block, CommitCertificate cert,
+                               const LocalPart& alpha,
+                               std::vector<GammaEntry> gamma,
+                               bool reply_from_here) {
+  // Track committed state for future γ captures.
+  auto& st = state_[alpha.collection];
+  st = std::max(st, alpha.n);
+  committed_blocks_++;
+  committed_txs_ += block->tx_count();
+  if (reply_from_here) reply_owner_.insert(cert.block_digest);
+
+  if (cfg_.SeparatedExecution()) {
+    // Byzantine with separation: the primary pushes the request + commit
+    // certificate through the privacy firewall (§4.2). Backups stay
+    // silent unless queried (retransmission handled by client timeout).
+    if (engine_->IsPrimary()) {
+      auto eo = std::make_shared<ExecOrderMsg>();
+      eo->block = block;
+      eo->cert = std::move(cert);
+      eo->alpha_here = alpha;
+      eo->gamma_here = std::move(gamma);
+      eo->wire_bytes = 128 + block->WireSize() + eo->cert.WireSize();
+      eo->sig_verify_ops =
+          static_cast<uint16_t>(eo->cert.sigs.size());
+      if (cfg_.HasFirewall()) {
+        Multicast(cfg_.filter_rows.front(), eo);
+      } else {
+        Multicast(cfg_.execution, eo);
+      }
+    }
+    return;
+  }
+
+  // Co-located execution (crash clusters; Byzantine without separation):
+  // every ordering node executes.
+  bool primary = engine_->IsPrimary();
+  Status st2 = exec_.Submit(
+      block, std::move(cert), alpha, std::move(gamma),
+      [this, reply_from_here, primary](const ExecutorCore::ExecResult& res) {
+        ChargeCpu(res.cpu_cost);
+        if (!reply_from_here) return;
+        OnExecutedReply(res, primary);
+      });
+  if (!st2.ok() && st2.code() != StatusCode::kAlreadyExists) {
+    env()->metrics.Inc("order.commit_submit_error");
+  }
+}
+
+void OrderingNode::OnExecutedReply(const ExecutorCore::ExecResult& res,
+                                   bool primary) {
+  // Crash cluster: only the primary replies (one reply suffices).
+  // Byzantine without separation: every node replies; the client machine
+  // waits for f+1 matching results.
+  if (cfg_.failure_model == FailureModel::kCrash && !primary) return;
+  auto reply = std::make_shared<ReplyMsg>();
+  reply->block_digest = res.block->Digest();
+  reply->result_digest = res.result_digest;
+  reply->clients = res.clients;
+  reply->sig = env()->keystore.Sign(id(), res.result_digest);
+  reply->wire_bytes = 96 + static_cast<uint32_t>(res.clients.size() * 12);
+  std::set<NodeId> machines;
+  for (const auto& [c, ts] : res.clients) machines.insert(c);
+  for (NodeId c : machines) Send(c, reply);
+}
+
+void OrderingNode::ForwardReplyCert(const ReplyCertMsg& m) {
+  // Reply certificate arrived from the bottom filter row; the primary
+  // forwards it to the client machines (§4.2). All nodes cache it for
+  // client retransmissions. For cross-cluster blocks only the initiator
+  // cluster replies.
+  auto cached = std::make_shared<ReplyCertMsg>(m);
+  reply_cache_[m.block_digest] = cached;
+  if (!engine_->IsPrimary()) return;
+  if (!reply_owner_.count(m.block_digest)) return;
+  std::set<NodeId> machines;
+  for (const auto& [c, ts] : m.clients) machines.insert(c);
+  for (NodeId c : machines) Send(c, cached);
+}
+
+// ------------------------------------------------- cross-cluster common
+
+bool OrderingNode::IsCross(const FlowKey& key) const {
+  return key.collection.members.size() > 1 || key.shards.size() > 1;
+}
+
+std::vector<int> OrderingNode::InvolvedClusters(
+    const CollectionId& c, const std::vector<ShardId>& shards) const {
+  std::vector<int> out;
+  for (EnterpriseId e : c.members.Members()) {
+    for (ShardId s : shards) {
+      out.push_back(dir_->ClusterIdOf(e, s));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int OrderingNode::CoordinatorClusterOf(
+    const CollectionId& c, const std::vector<ShardId>& shards) const {
+  ShardId s = shards.empty() ? 0 : *std::min_element(shards.begin(),
+                                                     shards.end());
+  EnterpriseId e = dir_->params.designated_coordinator
+                       ? dir_->CoordinatorEnterpriseOf(c, s)
+                       : cfg_.enterprise;
+  if (c.members.size() == 1) e = c.members.First();
+  return dir_->ClusterIdOf(e, s);
+}
+
+bool OrderingNode::IAmShardAssigner(const CollectionId& c,
+                                    EnterpriseId initiator_enterprise) const {
+  if (!c.members.Contains(cfg_.enterprise)) return false;
+  if (c.members.size() == 1) return c.members.First() == cfg_.enterprise;
+  if (dir_->params.designated_coordinator) {
+    return dir_->CoordinatorEnterpriseOf(c, cfg_.shard) == cfg_.enterprise;
+  }
+  return cfg_.enterprise == initiator_enterprise;
+}
+
+std::vector<NodeId> OrderingNode::NodesOf(
+    const std::vector<int>& clusters) const {
+  std::vector<NodeId> out;
+  for (int c : clusters) {
+    const auto& ord = dir_->Cluster(c).ordering;
+    out.insert(out.end(), ord.begin(), ord.end());
+  }
+  return out;
+}
+
+bool OrderingNode::HasCrossShardConflict(
+    const BlockPtr& block, const std::vector<ShardId>& shards) const {
+  auto intersects2 = [&shards](const std::vector<ShardId>& other) {
+    std::vector<ShardId> inter;
+    std::set_intersection(shards.begin(), shards.end(), other.begin(),
+                          other.end(), std::back_inserter(inter));
+    return inter.size() >= 2;
+  };
+  for (const auto& [d, s] : active_cross_) {
+    if (intersects2(s)) return true;
+  }
+  for (const auto& d : deferred_cross_) {
+    if (d.block == block) continue;  // re-admission of the head itself
+    if (!d.block->txs.empty() && intersects2(d.block->txs.front().shards)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+OrderingNode::XState& OrderingNode::StateFor(const Sha256Digest& d) {
+  XState& xs = xstates_[d];
+  if (xs.started_at == 0) xs.started_at = now();
+  xs.digest = d;
+  return xs;
+}
+
+void OrderingNode::ArmCrossTimer(const Sha256Digest& d) {
+  XState& xs = StateFor(d);
+  if (xs.timer_armed || xs.done) return;
+  xs.timer_armed = true;
+  uint64_t token = next_cross_timer_++;
+  cross_timer_digest_[token] = d;
+  StartTimer(dir_->params.cross_timeout_us, kTagCross, token);
+}
+
+void OrderingNode::FinishCross(XState& xs, bool committed) {
+  xs.done = true;
+  if (!committed) aborted_blocks_++;
+  for (const auto& [shard, a] : xs.assignments) {
+    if (a.cluster == cfg_.cluster_id) {
+      own_pending_.erase(
+          {ShardRef{a.alpha.collection, a.alpha.shard}, a.alpha.n});
+    }
+  }
+  // Release the shard reservation and admit deferred conflicting blocks.
+  auto it = active_cross_.find(xs.digest);
+  if (it != active_cross_.end()) {
+    active_cross_.erase(it);
+    if (!deferred_cross_.empty()) {
+      std::vector<DeferredCross> retry;
+      retry.swap(deferred_cross_);
+      for (auto& d : retry) {
+        if (dir_->params.family == ProtocolFamily::kCoordinator) {
+          StartCoordinated(d.block);
+        } else {
+          StartFlattened(d.block);
+        }
+      }
+    }
+  }
+  // Abort at the initiating cluster: retry the batch under a fresh block
+  // (same transactions, new ID) after a deterministic per-cluster backoff
+  // (§4.3.5: different timers per cluster prevent repeated deadlocks).
+  if (!committed) {
+    // Release slot claims and roll back our own assignment counters so
+    // replacements can reuse the burned sequence numbers.
+    for (const auto& [shard, a] : xs.assignments) {
+      ShardRef ref{a.alpha.collection, a.alpha.shard};
+      validated_digest_.erase({ref, a.alpha.n});
+      if (a.cluster == cfg_.cluster_id && engine_->IsPrimary() &&
+          next_seq_[a.alpha.collection] == a.alpha.n) {
+        --next_seq_[a.alpha.collection];
+      }
+    }
+  }
+  if (!committed && xs.i_coordinate && xs.block != nullptr &&
+      engine_->IsPrimary() && xs.retries < 8) {
+    env()->metrics.Inc("cross.retry");
+    uint64_t token = next_retry_++;
+    retry_blocks_[token] = {xs.block, xs.retries + 1};
+    SimTime backoff = 1000 * (cfg_.cluster_id + 1) * (xs.retries + 1);
+    StartTimer(backoff, kTagRetry, token);
+  }
+}
+
+void OrderingNode::RunRetry(uint64_t token) {
+  auto it = retry_blocks_.find(token);
+  if (it == retry_blocks_.end()) return;
+  auto [old_block, retries] = it->second;
+  retry_blocks_.erase(it);
+  const Transaction& probe = old_block->txs.front();
+  BlockPtr fresh = MakeBlock(FlowKey{probe.collection, probe.shards},
+                             old_block->txs,
+                             static_cast<uint32_t>(retries));
+  XState& xs = StateFor(fresh->Digest());
+  xs.retries = retries;
+  if (dir_->params.family == ProtocolFamily::kCoordinator) {
+    StartCoordinated(fresh);
+  } else {
+    StartFlattened(fresh);
+  }
+}
+
+void OrderingNode::HandleQuery(NodeId /*from*/, const QueryMsg& m) {
+  auto it = xstates_.find(m.block_digest);
+  if (it != xstates_.end() && it->second.done) {
+    env()->metrics.Inc("cross.query_answered");
+    return;  // outcome already disseminated; commit resend handled below
+  }
+  // If we have no record or it is still pending, count suspicion toward
+  // the primary (a local-majority of queries triggers a view change,
+  // §4.3.4).
+  env()->metrics.Inc("cross.query_pending");
+}
+
+}  // namespace qanaat

@@ -1,0 +1,225 @@
+#ifndef QANAAT_PROTOCOLS_ORDERING_NODE_H_
+#define QANAAT_PROTOCOLS_ORDERING_NODE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "consensus/engine.h"
+#include "consensus/messages.h"
+#include "firewall/executor_core.h"
+#include "protocols/context.h"
+#include "protocols/cross_messages.h"
+#include "sim/network.h"
+
+namespace qanaat {
+
+/// An ordering node of one Qanaat cluster.
+///
+/// Responsibilities (paper §4):
+///  * receive client requests, batch them per flow (target collection +
+///    shard set) into blocks, assign ⟨α, γ⟩ IDs (§4.1);
+///  * run the pluggable internal consensus (PBFT / Multi-Paxos);
+///  * drive or participate in the cross-cluster protocols, either
+///    coordinator-based (§4.3) or flattened (§4.4);
+///  * hand committed blocks to execution: through the privacy firewall
+///    (Byzantine, separated), or executing in place (crash clusters and
+///    Byzantine clusters without separation), and route replies;
+///  * failure handling: commit-query / prepared-query and view-change
+///    triggering (§4.3.4, §4.4.4).
+class OrderingNode : public Actor {
+ public:
+  OrderingNode(Env* env, const Directory* dir, const DataModel* model,
+               int cluster_id, int index);
+
+  void OnMessage(NodeId from, const MessageRef& msg) override;
+  void OnTimer(uint64_t tag, uint64_t payload) override;
+
+  const ClusterConfig& cluster() const { return cfg_; }
+  InternalConsensus* engine() { return engine_.get(); }
+  const ExecutorCore& exec_core() const { return exec_; }
+  bool IsPrimary() const { return engine_->IsPrimary(); }
+
+  uint64_t committed_blocks() const { return committed_blocks_; }
+  uint64_t committed_txs() const { return committed_txs_; }
+  uint64_t aborted_blocks() const { return aborted_blocks_; }
+
+ private:
+  friend class QanaatSystem;
+
+  // Key of a batching flow: all requests of a flow execute on the same
+  // collection and shard set, so they can share a block.
+  struct FlowKey {
+    CollectionId collection;
+    std::vector<ShardId> shards;
+    bool operator<(const FlowKey& o) const {
+      if (collection != o.collection) return collection < o.collection;
+      return shards < o.shards;
+    }
+  };
+
+  struct Flow {
+    std::vector<Transaction> pending;
+    uint64_t epoch = 0;  // invalidates stale batch timers
+    bool timer_armed = false;
+  };
+
+  // Cross-cluster protocol state for one in-flight block.
+  struct XState {
+    BlockPtr block;
+    Sha256Digest digest;
+    std::vector<int> involved;          // involved cluster ids (sorted)
+    bool is_cross_enterprise = false;
+    bool is_cross_shard = false;
+    bool i_coordinate = false;          // we are in the coordinator cluster
+    // Assignments collected per shard (keyed by shard id).
+    std::map<ShardId, ShardAssignment> assignments;
+    // Coordinator-side prepared bookkeeping: cluster -> voters.
+    std::map<int, std::set<NodeId>> prepared_votes;
+    std::map<int, std::set<NodeId>> abort_votes;
+    std::set<int> prepared_clusters;
+    bool commit_started = false;
+    bool abort_started = false;
+    // Flattened bookkeeping.
+    std::map<int, std::map<NodeId, Signature>> accepts;
+    std::map<int, std::map<NodeId, Signature>> commit_votes;
+    bool sent_accept = false;
+    bool sent_commit = false;
+    bool done = false;
+    bool timer_armed = false;
+    SimTime started_at = 0;
+    int retries = 0;
+  };
+
+  static constexpr uint64_t kTagBatch = 1;
+  static constexpr uint64_t kTagCross = 2;
+  static constexpr uint64_t kTagRetry = 3;
+
+  // ---- request intake / batching
+  void HandleRequest(NodeId from, const RequestMsg& m);
+  void CloseBatch(const FlowKey& key);
+  BlockPtr MakeBlock(const FlowKey& key, std::vector<Transaction> txs,
+                     uint32_t attempt = 0);
+  std::vector<GammaEntry> CaptureGamma(const CollectionId& c) const;
+  LocalPart NextAlpha(const CollectionId& c);
+  SeqNo StateOfCollection(const CollectionId& c) const;
+  /// The gaplessly-committed head of our shard's chain (what staleness
+  /// checks must compare against; state_ may run ahead of it when
+  /// cross-shard commits of different flows arrive out of order).
+  SeqNo CommittedHeadOf(const CollectionId& c) const;
+
+  // ---- internal consensus plumbing
+  void OnDecide(uint64_t slot, const ConsensusValue& v);
+  CommitCertificate MakeCert(uint64_t slot, const Sha256Digest& digest,
+                             ConsensusValue::Kind kind);
+
+  // ---- commit & execution path (shared by all protocols)
+  void CommitBlock(const BlockPtr& block, CommitCertificate cert,
+                   const LocalPart& alpha, std::vector<GammaEntry> gamma,
+                   bool reply_from_here);
+  void OnExecutedReply(const ExecutorCore::ExecResult& res, bool primary);
+  void ForwardReplyCert(const ReplyCertMsg& m);
+  static std::vector<ShardId> AllShards(const XState& xs);
+
+  // ---- cross-cluster: shared helpers
+  bool IsCross(const FlowKey& key) const;
+  std::vector<int> InvolvedClusters(const CollectionId& c,
+                                    const std::vector<ShardId>& shards) const;
+  int CoordinatorClusterOf(const CollectionId& c,
+                           const std::vector<ShardId>& shards) const;
+  /// Is this cluster the one that assigns ⟨α, γ⟩ for its shard of
+  /// collection c? In designated mode the per-shard designated
+  /// enterprise assigns (one assigner per chain); in optimistic mode the
+  /// initiator enterprise's clusters do (paper §4.3.3 verbatim).
+  bool IAmShardAssigner(const CollectionId& c,
+                        EnterpriseId initiator_enterprise) const;
+  std::vector<NodeId> NodesOf(const std::vector<int>& clusters) const;
+  XState& StateFor(const Sha256Digest& d);
+  /// True if `block` intersects an active *or already-deferred*
+  /// cross-shard block in >= 2 shards (§4.3.2). Deferred blocks count so
+  /// a later block of the same flow cannot overtake an earlier one and
+  /// gap the chain.
+  bool HasCrossShardConflict(const BlockPtr& block,
+                             const std::vector<ShardId>& shards) const;
+  void FinishCross(XState& xs, bool committed);
+  void ArmCrossTimer(const Sha256Digest& d);
+  void RunRetry(uint64_t token);
+
+  // ---- coordinator-based family (ordering_coordinator.cc)
+  void StartCoordinated(const BlockPtr& block);
+  void OnXOrderDecided(uint64_t slot, const ConsensusValue& v);
+  void OnXCommitDecided(uint64_t slot, const ConsensusValue& v,
+                        bool is_abort);
+  void HandleXPrepare(NodeId from, const XPrepareMsg& m);
+  void HandleXPrepared(NodeId from, const XPreparedMsg& m);
+  void HandleXCommit(NodeId from, const XCommitMsg& m);
+  void MaybeStartCommitPhase(XState& xs);
+
+  // ---- flattened family (ordering_flattened.cc)
+  void StartFlattened(const BlockPtr& block);
+  void HandleFPropose(NodeId from, const FProposeMsg& m);
+  void HandleFAccept(NodeId from, const FAcceptMsg& m);
+  void HandleFCommit(NodeId from, const FCommitMsg& m);
+  void SendFAccept(XState& xs);
+  void MaybeSendFCommit(XState& xs);
+  void MaybeFCommitDone(XState& xs);
+  bool FlattenedCftFastPath(const XState& xs) const;
+
+  // ---- failure handling
+  void HandleQuery(NodeId from, const QueryMsg& m);
+
+  /// Cost model hook: client requests are MAC-authenticated on crash
+  /// clusters and signature-verified on Byzantine ones; the privacy
+  /// firewall adds per-request body-encryption overhead.
+  SimTime CostOf(const Message& msg) const override;
+
+  const Directory* dir_;
+  const DataModel* model_;
+  ClusterConfig cfg_;
+  int index_;
+  std::unique_ptr<InternalConsensus> engine_;
+  ExecutorCore exec_;
+
+  std::map<FlowKey, Flow> flows_;
+  std::vector<FlowKey> flow_by_epoch_;  // timer payload -> flow key
+  std::map<CollectionId, SeqNo> state_;  // committed state (γ capture)
+  std::map<CollectionId, SeqNo> next_seq_;
+  // Validated slot claims on incoming cross-cluster IDs: which block
+  // digest this node endorsed for each (chain, n). Re-votes for the same
+  // digest are idempotent; a different digest claiming the same slot is
+  // a conflict (nack). Aborts erase the claim so a replacement block can
+  // take the slot. Keyed by digest rather than a watermark so pipelined
+  // prepares tolerate out-of-order delivery.
+  std::map<std::pair<ShardRef, SeqNo>, Sha256Digest> validated_digest_;
+  // (chain, n) assignments our own cluster currently has in flight. A
+  // node never endorses a remote block claiming a sequence number its
+  // own cluster is still trying to commit (optimistic-mode safety,
+  // §4.3.5).
+  std::set<std::pair<ShardRef, SeqNo>> own_pending_;
+  std::set<std::pair<NodeId, uint64_t>> seen_requests_;
+  std::map<Sha256Digest, XState> xstates_;
+  std::map<uint64_t, Sha256Digest> cross_timer_digest_;
+  uint64_t next_cross_timer_ = 0;
+  // Blocks whose client replies this cluster owns (initiator side).
+  std::set<Sha256Digest> reply_owner_;
+  // Reply cache for retransmissions: block digest -> cert msg.
+  std::map<Sha256Digest, std::shared_ptr<const ReplyCertMsg>> reply_cache_;
+  // Serialization of conflicting cross-shard blocks (paper §4.3.2: no two
+  // concurrent transactions may intersect in >= 2 shards).
+  struct DeferredCross {
+    BlockPtr block;
+  };
+  std::vector<DeferredCross> deferred_cross_;
+  std::map<Sha256Digest, std::vector<ShardId>> active_cross_;
+  std::map<uint64_t, std::pair<BlockPtr, int>> retry_blocks_;
+  uint64_t next_retry_ = 0;
+
+  uint64_t committed_blocks_ = 0;
+  uint64_t committed_txs_ = 0;
+  uint64_t aborted_blocks_ = 0;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_PROTOCOLS_ORDERING_NODE_H_

@@ -1,0 +1,97 @@
+#ifndef QANAAT_QANAAT_CLIENT_H_
+#define QANAAT_QANAAT_CLIENT_H_
+
+#include <map>
+#include <memory>
+
+#include "common/histogram.h"
+#include "consensus/messages.h"
+#include "protocols/context.h"
+#include "sim/network.h"
+#include "workload/smallbank.h"
+
+namespace qanaat {
+
+/// A client machine: an open-loop load generator driving many logical
+/// clients. Issues signed requests at a Poisson rate to the (designated)
+/// primary of each transaction's target cluster, matches replies
+/// according to the deployment's acceptance rule, and records end-to-end
+/// latency — the measurement methodology of §5 ("results reflect
+/// end-to-end measurements from the clients").
+///
+/// Acceptance rules:
+///  * crash cluster                — first reply (from the primary);
+///  * Byzantine, no separation    — f+1 matching signed replies;
+///  * Byzantine + privacy firewall — one valid reply certificate (g+1
+///    execution shares, re-verified here).
+class ClientMachine : public Actor {
+ public:
+  ClientMachine(Env* env, const Directory* dir,
+                std::unique_ptr<SmallBankWorkload> workload, double rate_tps,
+                uint64_t seed);
+
+  void OnMessage(NodeId from, const MessageRef& msg) override;
+  void OnTimer(uint64_t tag, uint64_t payload) override;
+
+  /// Starts issuing requests in [start, stop); measurement window
+  /// [measure_from, measure_to) filters warmup/cooldown.
+  void Start(SimTime start, SimTime stop, SimTime measure_from,
+             SimTime measure_to);
+
+  uint64_t issued() const { return issued_; }
+  uint64_t accepted() const { return accepted_; }
+  /// Committed transactions inside the measurement window.
+  uint64_t measured_commits() const { return measured_commits_; }
+  const Histogram& latencies() const { return latencies_; }
+
+  /// Enable client retransmission on timeout (primary-failure handling).
+  void SetRetransmitTimeout(SimTime t) { retransmit_timeout_ = t; }
+
+ protected:
+  /// A client machine aggregates many physical client hosts; its CPU is
+  /// not part of the system under test, so message handling is charged a
+  /// token cost (otherwise reply fan-in would bottleneck measurement).
+  SimTime CostOf(const Message& /*msg*/) const override { return 2; }
+
+ private:
+  struct PendingTx {
+    SimTime sent_at = 0;
+    int target_cluster = 0;
+    int reply_count = 0;  // matching replies so far (Byzantine rule)
+    Sha256Digest result_digest;
+    bool have_result = false;
+    std::shared_ptr<RequestMsg> request;  // kept for retransmission
+    bool done = false;
+  };
+
+  static constexpr uint64_t kTagIssue = 1;
+  static constexpr uint64_t kTagRetransmit = 2;
+
+  void IssueNext();
+  void Settle(uint64_t ts, bool matching_rule_met);
+  void HandleReply(NodeId from, const ReplyMsg& m);
+  void HandleReplyCert(const ReplyCertMsg& m);
+
+  const Directory* dir_;
+  std::unique_ptr<SmallBankWorkload> workload_;
+  double rate_tps_;
+  Rng rng_;
+  SimTime stop_at_ = 0;
+  SimTime measure_from_ = 0;
+  SimTime measure_to_ = 0;
+  SimTime retransmit_timeout_ = 0;  // 0 = disabled
+
+  uint64_t next_ts_ = 1;
+  std::map<uint64_t, PendingTx> pending_;
+  // Byzantine (no firewall) rule: per tx, distinct repliers per result.
+  std::map<uint64_t, std::map<uint64_t, std::set<NodeId>>> reply_votes_;
+
+  uint64_t issued_ = 0;
+  uint64_t accepted_ = 0;
+  uint64_t measured_commits_ = 0;
+  Histogram latencies_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_QANAAT_CLIENT_H_

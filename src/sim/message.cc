@@ -1,0 +1,41 @@
+#include "sim/message.h"
+
+namespace qanaat {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kRequest: return "REQUEST";
+    case MsgType::kReply: return "REPLY";
+    case MsgType::kReplyCert: return "REPLY_CERT";
+    case MsgType::kPrePrepare: return "PRE_PREPARE";
+    case MsgType::kPrepare: return "PREPARE";
+    case MsgType::kCommit: return "COMMIT";
+    case MsgType::kCheckpoint: return "CHECKPOINT";
+    case MsgType::kViewChange: return "VIEW_CHANGE";
+    case MsgType::kNewView: return "NEW_VIEW";
+    case MsgType::kPaxosAccept: return "PAXOS_ACCEPT";
+    case MsgType::kPaxosAccepted: return "PAXOS_ACCEPTED";
+    case MsgType::kPaxosLearn: return "PAXOS_LEARN";
+    case MsgType::kXPrepare: return "X_PREPARE";
+    case MsgType::kXPrepared: return "X_PREPARED";
+    case MsgType::kXCommit: return "X_COMMIT";
+    case MsgType::kXAbort: return "X_ABORT";
+    case MsgType::kFPropose: return "F_PROPOSE";
+    case MsgType::kFAccept: return "F_ACCEPT";
+    case MsgType::kFCommit: return "F_COMMIT";
+    case MsgType::kCommitQuery: return "COMMIT_QUERY";
+    case MsgType::kPreparedQuery: return "PREPARED_QUERY";
+    case MsgType::kExecOrder: return "EXEC_ORDER";
+    case MsgType::kExecReply: return "EXEC_REPLY";
+    case MsgType::kEndorseReq: return "ENDORSE_REQ";
+    case MsgType::kEndorseResp: return "ENDORSE_RESP";
+    case MsgType::kOrderSubmit: return "ORDER_SUBMIT";
+    case MsgType::kOrderedBlock: return "ORDERED_BLOCK";
+    case MsgType::kValidateDone: return "VALIDATE_DONE";
+    case MsgType::kRaftAppend: return "RAFT_APPEND";
+    case MsgType::kRaftAppendResp: return "RAFT_APPEND_RESP";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace qanaat

@@ -1,0 +1,84 @@
+#ifndef QANAAT_SIM_MESSAGE_H_
+#define QANAAT_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace qanaat {
+
+/// Wire-level message kind. One enum across all subsystems so traces are
+/// easy to read and the network can account costs uniformly.
+enum class MsgType : uint8_t {
+  // Client <-> cluster
+  kRequest = 0,
+  kReply,
+  kReplyCert,
+  // Internal consensus (Paxos / PBFT)
+  kPrePrepare,
+  kPrepare,
+  kCommit,
+  kCheckpoint,
+  kViewChange,
+  kNewView,
+  kPaxosAccept,
+  kPaxosAccepted,
+  kPaxosLearn,
+  // Cross-cluster coordinator-based (paper Fig 5)
+  kXPrepare,
+  kXPrepared,
+  kXCommit,
+  kXAbort,
+  // Cross-cluster flattened (paper Fig 6)
+  kFPropose,
+  kFAccept,
+  kFCommit,
+  // Failure handling (paper §4.3.4 / §4.4.4)
+  kCommitQuery,
+  kPreparedQuery,
+  // Ordering -> firewall -> execution path (paper §4.2)
+  kExecOrder,    // request + commit certificate toward execution nodes
+  kExecReply,    // signed reply from execution node toward filters
+  // Baselines (Fabric family)
+  kEndorseReq,
+  kEndorseResp,
+  kOrderSubmit,
+  kOrderedBlock,
+  kValidateDone,
+  kRaftAppend,
+  kRaftAppendResp,
+};
+
+const char* MsgTypeName(MsgType t);
+
+/// Base class for every simulated network message.
+///
+/// Messages are immutable after construction and shared by pointer between
+/// actors (the canonical serialized form is hashed into `digest` where
+/// protocols need it). `wire_bytes` feeds the bandwidth model and
+/// `sig_verify_ops` the CPU model: the receiving node is charged
+/// per-signature verification time before its handler runs.
+struct Message {
+  explicit Message(MsgType t) : type(t) {}
+  virtual ~Message() = default;
+
+  MsgType type;
+  /// Estimated serialized size in bytes (headers + payload).
+  uint32_t wire_bytes = 128;
+  /// Number of signature verifications the receiver performs.
+  uint16_t sig_verify_ops = 1;
+
+  template <typename T>
+  const T* As() const {
+    return static_cast<const T*>(this);
+  }
+};
+
+using MessageRef = std::shared_ptr<const Message>;
+
+}  // namespace qanaat
+
+#endif  // QANAAT_SIM_MESSAGE_H_

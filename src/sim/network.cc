@@ -1,0 +1,130 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace qanaat {
+
+Network::Network(Env* env) : env_(env), rng_(env->rng.Fork()) {
+  env_->net = this;
+  rtt_.push_back({0});  // region 0, zero self-RTT
+}
+
+int Network::AddRegion() {
+  int id = static_cast<int>(rtt_.size());
+  for (auto& row : rtt_) row.push_back(0);
+  rtt_.emplace_back(rtt_.size() + 1, 0);
+  return id;
+}
+
+void Network::SetRtt(int a, int b, SimTime rtt_us) {
+  rtt_[a][b] = rtt_us;
+  rtt_[b][a] = rtt_us;
+}
+
+NodeId Network::Register(Actor* actor) {
+  NodeId id = static_cast<NodeId>(actors_.size());
+  actors_.push_back(actor);
+  allowed_.push_back(nullptr);
+  return id;
+}
+
+void Network::RestrictLinks(NodeId node, std::vector<NodeId> peers) {
+  allowed_[node] =
+      std::make_unique<std::set<NodeId>>(peers.begin(), peers.end());
+}
+
+bool Network::LinkAllowed(NodeId from, NodeId to) const {
+  const auto& fa = allowed_[from];
+  if (fa && !fa->count(to)) return false;
+  const auto& ta = allowed_[to];
+  if (ta && !ta->count(from)) return false;
+  return true;
+}
+
+SimTime Network::LatencyBetween(int a, int b) {
+  SimTime base = (a == b) ? env_->costs.lan_latency_us : rtt_[a][b] / 2;
+  SimTime jitter = env_->costs.jitter_us > 0
+                       ? static_cast<SimTime>(rng_.Uniform(
+                             static_cast<uint64_t>(env_->costs.jitter_us) + 1))
+                       : 0;
+  return base + jitter;
+}
+
+void Network::Send(NodeId from, NodeId to, MessageRef msg) {
+  if (from == to) {
+    // Self-delivery: skip the wire but still pay CPU cost.
+    actors_[to]->DeliverAt(env_->sim.now(), from, std::move(msg));
+    return;
+  }
+  if (!LinkAllowed(from, to)) {
+    ++blocked_sends_;
+    env_->metrics.Inc("net.blocked_sends");
+    return;
+  }
+  auto key = std::minmax(from, to);
+  if (partitions_.count({key.first, key.second})) return;
+  if (drop_rate_ > 0 && rng_.NextDouble() < drop_rate_) {
+    env_->metrics.Inc("net.dropped");
+    return;
+  }
+  Actor* src = actors_[from];
+  Actor* dst = actors_[to];
+  if (src->crashed() || dst->crashed()) return;
+
+  SimTime wire = LatencyBetween(src->region(), dst->region());
+  SimTime xmit = static_cast<SimTime>(static_cast<double>(msg->wire_bytes) /
+                                      env_->costs.bandwidth_bytes_per_us);
+  SimTime arrival = env_->sim.now() + wire + xmit;
+  ++messages_sent_;
+  bytes_sent_ += msg->wire_bytes;
+  env_->sim.ScheduleAt(arrival, [dst, arrival, from, m = std::move(msg)]() {
+    dst->DeliverAt(arrival, from, m);
+  });
+}
+
+void Network::Multicast(NodeId from, const std::vector<NodeId>& to,
+                        MessageRef msg) {
+  for (NodeId t : to) Send(from, t, msg);
+}
+
+void Network::Partition(NodeId a, NodeId b) {
+  auto key = std::minmax(a, b);
+  partitions_.insert({key.first, key.second});
+}
+
+void Network::HealPartition(NodeId a, NodeId b) {
+  auto key = std::minmax(a, b);
+  partitions_.erase({key.first, key.second});
+}
+
+void Network::HealAllPartitions() { partitions_.clear(); }
+
+Actor::Actor(Env* env, std::string name, int region)
+    : env_(env), name_(std::move(name)), region_(region) {
+  id_ = env_->net->Register(this);
+}
+
+void Actor::OnTimer(uint64_t /*tag*/, uint64_t /*payload*/) {}
+
+SimTime Actor::CostOf(const Message& msg) const {
+  return env_->costs.base_proc_us +
+         static_cast<SimTime>(msg.sig_verify_ops) * env_->costs.verify_sig_us;
+}
+
+void Actor::DeliverAt(SimTime arrival, NodeId from, MessageRef msg) {
+  if (crashed_) return;
+  SimTime start = std::max(arrival, busy_until_);
+  SimTime done = start + CostOf(*msg);
+  busy_until_ = done;
+  env_->sim.ScheduleAt(done, [this, from, m = std::move(msg)]() {
+    if (!crashed_) OnMessage(from, m);
+  });
+}
+
+void Actor::StartTimer(SimTime delay, uint64_t tag, uint64_t payload) {
+  env_->sim.Schedule(delay, [this, tag, payload]() {
+    if (!crashed_) OnTimer(tag, payload);
+  });
+}
+
+}  // namespace qanaat

@@ -1,0 +1,140 @@
+#ifndef QANAAT_SIM_NETWORK_H_
+#define QANAAT_SIM_NETWORK_H_
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/env.h"
+#include "sim/message.h"
+
+namespace qanaat {
+
+class Actor;
+
+/// Simulated transport: per-region RTT matrix, bandwidth, jitter, message
+/// drops, partitions, and *physical link restrictions* (the privacy
+/// firewall's wiring constraint, paper §3.4: each filter has a physical
+/// connection only to the rows above/below, so a malicious execution node
+/// cannot reach clients at all).
+class Network {
+ public:
+  explicit Network(Env* env);
+
+  /// Adds a region; returns its id. Region 0 exists by default.
+  int AddRegion();
+  /// Sets the round-trip time between two regions (one-way = rtt/2).
+  void SetRtt(int region_a, int region_b, SimTime rtt_us);
+  int region_count() const { return static_cast<int>(rtt_.size()); }
+
+  /// Registers an actor and assigns it a NodeId.
+  NodeId Register(Actor* actor);
+  Actor* actor(NodeId id) const { return actors_[id]; }
+  size_t node_count() const { return actors_.size(); }
+
+  /// Restricts `node` so it may exchange messages only with `peers`.
+  /// Models the firewall's physical wiring. Unrestricted by default.
+  void RestrictLinks(NodeId node, std::vector<NodeId> peers);
+  bool LinkAllowed(NodeId from, NodeId to) const;
+
+  /// Unicast with latency + bandwidth + jitter. Silently drops if either
+  /// endpoint is crashed, the link is disallowed/partitioned, or the drop
+  /// coin fires.
+  void Send(NodeId from, NodeId to, MessageRef msg);
+  void Multicast(NodeId from, const std::vector<NodeId>& to, MessageRef msg);
+
+  /// Fault injection.
+  void SetDropRate(double p) { drop_rate_ = p; }
+  void Partition(NodeId a, NodeId b);  // symmetric
+  void HealPartition(NodeId a, NodeId b);
+  void HealAllPartitions();
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t blocked_sends() const { return blocked_sends_; }
+
+ private:
+  SimTime LatencyBetween(int region_a, int region_b);
+
+  Env* env_;
+  Rng rng_;
+  std::vector<Actor*> actors_;
+  std::vector<std::vector<SimTime>> rtt_;  // region x region RTT (µs)
+  std::vector<std::unique_ptr<std::set<NodeId>>> allowed_;  // per node
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  double drop_rate_ = 0.0;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t blocked_sends_ = 0;
+};
+
+/// Base class for every simulated node (ordering node, execution node,
+/// filter, client, endorser, orderer, ...).
+///
+/// CPU model: each actor is a serial server. A message arriving at time t
+/// begins processing at max(t, busy_until) and occupies the CPU for
+/// CostOf(msg); the handler runs when processing completes. Queueing delay
+/// under load produces the saturation knees in the paper's
+/// throughput/latency plots.
+class Actor {
+ public:
+  Actor(Env* env, std::string name, int region = 0);
+  virtual ~Actor() = default;
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  NodeId id() const { return id_; }
+  int region() const { return region_; }
+  const std::string& name() const { return name_; }
+  bool crashed() const { return crashed_; }
+
+  /// Crash-stop the node (drops queued work) / bring it back.
+  void Crash() { crashed_ = true; }
+  void Recover() { crashed_ = false; }
+
+  /// Mark this node Byzantine for fault-injection runs; protocol
+  /// subclasses consult this flag to misbehave.
+  void SetByzantine(bool b) { byzantine_ = b; }
+  bool byzantine() const { return byzantine_; }
+
+  /// Called by the network at delivery time (after transport latency);
+  /// enqueues CPU work.
+  void DeliverAt(SimTime arrival, NodeId from, MessageRef msg);
+
+  /// Handler, runs after CPU processing completes.
+  virtual void OnMessage(NodeId from, const MessageRef& msg) = 0;
+  /// Timer callback; `tag` identifies the purpose, `payload` the instance.
+  virtual void OnTimer(uint64_t tag, uint64_t payload);
+
+ protected:
+  SimTime now() const { return env_->sim.now(); }
+  Env* env() const { return env_; }
+
+  void Send(NodeId to, MessageRef msg) { env_->net->Send(id_, to, msg); }
+  void Multicast(const std::vector<NodeId>& to, MessageRef msg) {
+    env_->net->Multicast(id_, to, msg);
+  }
+  /// Schedule OnTimer(tag, payload) after `delay`; fires unless crashed.
+  void StartTimer(SimTime delay, uint64_t tag, uint64_t payload = 0);
+  /// Occupy the CPU for `d` more microseconds (e.g. executing a batch).
+  void ChargeCpu(SimTime d) { busy_until_ += d; }
+
+  /// Per-message CPU cost; default = base + verifications.
+  virtual SimTime CostOf(const Message& msg) const;
+
+ private:
+  Env* env_;
+  std::string name_;
+  int region_;
+  NodeId id_;
+  bool crashed_ = false;
+  bool byzantine_ = false;
+  SimTime busy_until_ = 0;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_SIM_NETWORK_H_

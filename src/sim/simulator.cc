@@ -1,0 +1,31 @@
+#include "sim/simulator.h"
+
+namespace qanaat {
+
+uint64_t Simulator::Run(SimTime until) {
+  uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // Copy out: the callback may schedule new events, invalidating top().
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+uint64_t Simulator::RunAll() {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace qanaat

@@ -1,0 +1,69 @@
+#ifndef QANAAT_SIM_SIMULATOR_H_
+#define QANAAT_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qanaat {
+
+/// Deterministic discrete-event simulator.
+///
+/// Events execute in (time, insertion-sequence) order, so a single seed
+/// yields a bit-identical run. All protocol code runs inside event
+/// callbacks; the simulator substitutes wall clock + transport of the
+/// paper's AWS deployment (DESIGN.md §2).
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() : now_(0), next_seq_(0) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` microseconds from now (>= 0).
+  void Schedule(SimTime delay, Callback fn) {
+    ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute time (clamped to now).
+  void ScheduleAt(SimTime when, Callback fn) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Run until the queue drains or simulated time exceeds `until`.
+  /// Returns the number of events executed.
+  uint64_t Run(SimTime until);
+
+  /// Run until the queue is fully drained.
+  uint64_t RunAll();
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_SIM_SIMULATOR_H_

@@ -1,0 +1,76 @@
+#include "store/mvstore.h"
+
+#include <algorithm>
+
+namespace qanaat {
+
+Status MvStore::Put(Key key, Value value, SeqNo version) {
+  auto& chain = chains_[key];
+  if (!chain.empty() && chain.back().version > version) {
+    return Status::FailedPrecondition(
+        "version regression on key " + std::to_string(key) + ": " +
+        std::to_string(chain.back().version) + " -> " +
+        std::to_string(version));
+  }
+  if (!chain.empty() && chain.back().version == version) {
+    chain.back().value = value;  // last write in the same tx wins
+  } else {
+    chain.push_back({version, value});
+  }
+  latest_version_ = std::max(latest_version_, version);
+  return Status::Ok();
+}
+
+StatusOr<MvStore::Value> MvStore::Get(Key key) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  return it->second.back().value;
+}
+
+StatusOr<MvStore::Value> MvStore::GetAt(Key key, SeqNo max_version) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) {
+    return Status::NotFound("key " + std::to_string(key));
+  }
+  const auto& chain = it->second;
+  // Last version <= max_version.
+  auto pos = std::upper_bound(
+      chain.begin(), chain.end(), max_version,
+      [](SeqNo v, const VersionedValue& vv) { return v < vv.version; });
+  if (pos == chain.begin()) {
+    return Status::NotFound("key " + std::to_string(key) +
+                            " absent at version " +
+                            std::to_string(max_version));
+  }
+  return std::prev(pos)->value;
+}
+
+size_t MvStore::VersionCountOf(Key key) const {
+  auto it = chains_.find(key);
+  return it == chains_.end() ? 0 : it->second.size();
+}
+
+void MvStore::TrimBelow(SeqNo floor) {
+  for (auto& [key, chain] : chains_) {
+    if (chain.size() <= 1) continue;
+    // Keep the newest version < floor as the base value plus everything
+    // >= floor.
+    auto first_kept = std::lower_bound(
+        chain.begin(), chain.end(), floor,
+        [](const VersionedValue& vv, SeqNo v) { return vv.version < v; });
+    if (first_kept == chain.begin()) continue;
+    auto base = std::prev(first_kept);
+    chain.erase(chain.begin(), base);
+  }
+}
+
+Status WriteBatch::ApplyTo(MvStore* store, SeqNo version) const {
+  for (const auto& [k, v] : writes_) {
+    QANAAT_RETURN_IF_ERROR(store->Put(k, v, version));
+  }
+  return Status::Ok();
+}
+
+}  // namespace qanaat

@@ -1,0 +1,86 @@
+#ifndef QANAAT_STORE_MVSTORE_H_
+#define QANAAT_STORE_MVSTORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace qanaat {
+
+/// Multi-versioned key-value store backing one shard of one data
+/// collection on an execution node.
+///
+/// Paper §4.2: "Data collections store data in multi-versioned datastores
+/// to enable nodes to read the version they need to" — executors resolve
+/// reads of order-dependent collections at exactly the sequence number
+/// captured in the transaction's γ, so every replica reads the same state.
+///
+/// Versions are the local sequence numbers of the committing transactions
+/// and are therefore monotonically increasing per store.
+class MvStore {
+ public:
+  using Key = uint64_t;
+  using Value = int64_t;
+
+  MvStore() = default;
+
+  /// Installs `value` for `key` at `version`. Versions must not decrease
+  /// across calls for the same key (enforced; ledger order guarantees it).
+  Status Put(Key key, Value value, SeqNo version);
+
+  /// Latest committed value.
+  StatusOr<Value> Get(Key key) const;
+
+  /// Snapshot read: the value as of version <= max_version (the γ-capture
+  /// read path). NotFound if the key did not exist at that version.
+  StatusOr<Value> GetAt(Key key, SeqNo max_version) const;
+
+  /// Highest version ever written to this store.
+  SeqNo latest_version() const { return latest_version_; }
+
+  size_t key_count() const { return chains_.size(); }
+  /// Number of versions retained for `key` (0 if absent).
+  size_t VersionCountOf(Key key) const;
+
+  /// Drops versions strictly below `floor`, keeping at least the newest
+  /// one per key (checkpoint garbage collection).
+  void TrimBelow(SeqNo floor);
+
+ private:
+  struct VersionedValue {
+    SeqNo version;
+    Value value;
+  };
+  // Append-only per-key chains, sorted by version.
+  std::unordered_map<Key, std::vector<VersionedValue>> chains_;
+  SeqNo latest_version_ = 0;
+};
+
+/// A buffered set of writes produced by executing one transaction, applied
+/// atomically at commit version.
+class WriteBatch {
+ public:
+  void Put(MvStore::Key key, MvStore::Value value) {
+    writes_.push_back({key, value});
+  }
+  size_t size() const { return writes_.size(); }
+  bool empty() const { return writes_.empty(); }
+
+  /// Applies every write at `version`.
+  Status ApplyTo(MvStore* store, SeqNo version) const;
+
+  const std::vector<std::pair<MvStore::Key, MvStore::Value>>& writes() const {
+    return writes_;
+  }
+
+ private:
+  std::vector<std::pair<MvStore::Key, MvStore::Value>> writes_;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_STORE_MVSTORE_H_

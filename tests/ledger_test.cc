@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "ledger/dag_ledger.h"
+
+namespace qanaat {
+namespace {
+
+CollectionId Coll(std::initializer_list<EnterpriseId> ids) {
+  return CollectionId(EnterpriseSet(ids));
+}
+
+Transaction MakeTx(uint64_t key, int64_t delta, CollectionId c) {
+  Transaction tx;
+  tx.client = 1;
+  tx.client_ts = key * 131 + static_cast<uint64_t>(delta);
+  tx.collection = c;
+  tx.shards = {0};
+  tx.ops.push_back(TxOp{TxOp::Kind::kAdd, key, delta, {}});
+  return tx;
+}
+
+BlockPtr MakeBlock(CollectionId c, ShardId shard, SeqNo n,
+                   std::vector<GammaEntry> gamma = {}, int ntx = 3) {
+  auto b = std::make_shared<Block>();
+  b->id.alpha = {c, shard, n};
+  b->id.gamma = std::move(gamma);
+  for (int i = 0; i < ntx; ++i) {
+    b->txs.push_back(MakeTx(n * 100 + i, 5, c));
+  }
+  b->Seal();
+  return b;
+}
+
+CommitCertificate CertFor(const KeyStore& ks, const Block& b, int nsigs = 3) {
+  CommitCertificate cert;
+  cert.block_digest = b.Digest();
+  cert.direct = true;
+  for (NodeId i = 0; i < static_cast<NodeId>(nsigs); ++i) {
+    cert.sigs.push_back(ks.Sign(i, cert.block_digest));
+  }
+  return cert;
+}
+
+struct LedgerFixture : ::testing::Test {
+  KeyStore ks{99};
+  DagLedger ledger;
+
+  Status Append(BlockPtr b, SimTime t = 0) {
+    CommitCertificate cert = CertFor(ks, *b);
+    return ledger.Append(std::move(b), std::move(cert), t);
+  }
+};
+
+TEST_F(LedgerFixture, AppendsInSequence) {
+  auto c = Coll({0});
+  EXPECT_TRUE(Append(MakeBlock(c, 0, 1)).ok());
+  EXPECT_TRUE(Append(MakeBlock(c, 0, 2)).ok());
+  EXPECT_EQ(ledger.HeadOf({c, 0}), 2u);
+  EXPECT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger.total_txs(), 6u);
+}
+
+TEST_F(LedgerFixture, RejectsGapAndDuplicate) {
+  auto c = Coll({0});
+  ASSERT_TRUE(Append(MakeBlock(c, 0, 1)).ok());
+  EXPECT_EQ(Append(MakeBlock(c, 0, 3)).code(),
+            StatusCode::kFailedPrecondition);  // gap
+  EXPECT_EQ(Append(MakeBlock(c, 0, 1)).code(),
+            StatusCode::kFailedPrecondition);  // duplicate
+}
+
+TEST_F(LedgerFixture, IndependentChainsAppendInParallel) {
+  // The DAG property (§3.3): order-independent collections have separate
+  // chains; e.g. d_AB and d_AC blocks interleave freely.
+  auto ab = Coll({0, 1});
+  auto ac = Coll({0, 2});
+  EXPECT_TRUE(Append(MakeBlock(ab, 0, 1)).ok());
+  EXPECT_TRUE(Append(MakeBlock(ac, 0, 1)).ok());
+  EXPECT_TRUE(Append(MakeBlock(ab, 0, 2)).ok());
+  EXPECT_TRUE(Append(MakeBlock(ac, 0, 2)).ok());
+  EXPECT_EQ(ledger.ChainOf({ab, 0}).size(), 2u);
+  EXPECT_EQ(ledger.ChainOf({ac, 0}).size(), 2u);
+}
+
+TEST_F(LedgerFixture, PerShardChains) {
+  auto c = Coll({0});
+  EXPECT_TRUE(Append(MakeBlock(c, 0, 1)).ok());
+  EXPECT_TRUE(Append(MakeBlock(c, 1, 1)).ok());
+  EXPECT_EQ(ledger.HeadOf({c, 0}), 1u);
+  EXPECT_EQ(ledger.HeadOf({c, 1}), 1u);
+}
+
+TEST_F(LedgerFixture, GlobalConsistencyEnforcedOnAppend) {
+  auto ab = Coll({0, 1});
+  auto root = Coll({0, 1, 2, 3});
+  ASSERT_TRUE(Append(MakeBlock(ab, 0, 1, {{root, 5}})).ok());
+  // γ may stay or advance...
+  ASSERT_TRUE(Append(MakeBlock(ab, 0, 2, {{root, 5}})).ok());
+  ASSERT_TRUE(Append(MakeBlock(ab, 0, 3, {{root, 8}})).ok());
+  // ...but never regress (§3.3 rule 2).
+  EXPECT_EQ(Append(MakeBlock(ab, 0, 4, {{root, 7}})).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LedgerFixture, StateOfTracksCommittedSequence) {
+  auto c = Coll({0, 1});
+  EXPECT_EQ(ledger.StateOf(c), 0u);
+  ASSERT_TRUE(Append(MakeBlock(c, 0, 1)).ok());
+  ASSERT_TRUE(Append(MakeBlock(c, 0, 2)).ok());
+  EXPECT_EQ(ledger.StateOf(c), 2u);
+}
+
+TEST_F(LedgerFixture, CertificateMustCoverBlock) {
+  auto b = MakeBlock(Coll({0}), 0, 1);
+  CommitCertificate cert = CertFor(ks, *b);
+  cert.block_digest.bytes[0] ^= 1;
+  EXPECT_EQ(ledger.Append(b, cert, 0).code(), StatusCode::kCorruption);
+}
+
+TEST_F(LedgerFixture, AppendForUsesPerClusterView) {
+  // Cross-shard blocks: each cluster appends the same block under its
+  // own ⟨α, γ⟩ (§4.3.2).
+  auto c = Coll({0, 1});
+  auto b = MakeBlock(c, 0, 1);
+  CommitCertificate cert = CertFor(ks, *b);
+  LocalPart my_alpha{c, 1, 1};  // our shard's assignment
+  EXPECT_TRUE(ledger.AppendFor(b, cert, 0, my_alpha, {}).ok());
+  EXPECT_EQ(ledger.HeadOf({c, 1}), 1u);
+  EXPECT_EQ(ledger.HeadOf({c, 0}), 0u);  // coordinator's chain untouched
+}
+
+TEST_F(LedgerFixture, VerifyChainPassesOnHonestLedger) {
+  auto c = Coll({0});
+  for (SeqNo n = 1; n <= 5; ++n) ASSERT_TRUE(Append(MakeBlock(c, 0, n)).ok());
+  EXPECT_TRUE(ledger.VerifyChain(ks, 3).ok());
+}
+
+TEST_F(LedgerFixture, VerifyChainDetectsTamperedTransaction) {
+  auto c = Coll({0});
+  auto b = MakeBlock(c, 0, 1);
+  ASSERT_TRUE(Append(b).ok());
+  // Tamper with the committed transaction in place (simulates a
+  // malicious enterprise editing its stored ledger).
+  auto* mutable_block = const_cast<Block*>(ledger.entry(0).block.get());
+  mutable_block->txs[0].ops[0].value = 1000000;
+  Status audit = ledger.VerifyChain(ks, 3);
+  EXPECT_EQ(audit.code(), StatusCode::kCorruption);
+}
+
+TEST_F(LedgerFixture, VerifyChainDetectsShortCertificate) {
+  auto c = Coll({0});
+  auto b = MakeBlock(c, 0, 1);
+  CommitCertificate cert = CertFor(ks, *b, 1);  // only one signature
+  ASSERT_TRUE(ledger.Append(b, cert, 0).ok());
+  EXPECT_TRUE(ledger.VerifyChain(ks, 1).ok());
+  EXPECT_EQ(ledger.VerifyChain(ks, 3).code(), StatusCode::kCorruption);
+}
+
+// ------------------------------------------- certificates stand alone
+
+TEST(CommitCertificateTest, PbftFormVerifies) {
+  KeyStore ks(5);
+  Sha256Digest d = Sha256::Hash("block");
+  CommitCertificate cert;
+  cert.block_digest = d;
+  cert.view = 2;
+  cert.slot = 9;
+  cert.value_kind = 1;
+  Sha256Digest covered = ConsensusSignable(2, 9, ValueDigestFor(1, d));
+  for (NodeId i = 0; i < 3; ++i) cert.sigs.push_back(ks.Sign(i, covered));
+  EXPECT_TRUE(cert.Valid(ks, 3));
+  EXPECT_FALSE(cert.Valid(ks, 4));
+  // Changing any binding field invalidates.
+  cert.slot = 10;
+  EXPECT_FALSE(cert.Valid(ks, 3));
+}
+
+TEST(CommitCertificateTest, ValidFromChecksMembership) {
+  KeyStore ks(5);
+  Sha256Digest d = Sha256::Hash("block");
+  CommitCertificate cert;
+  cert.block_digest = d;
+  cert.direct = true;
+  for (NodeId i = 0; i < 3; ++i) cert.sigs.push_back(ks.Sign(i, d));
+  EXPECT_TRUE(cert.ValidFrom(ks, 3, {0, 1, 2, 3}));
+  // Signer 2 is not a member of the claimed cluster.
+  EXPECT_FALSE(cert.ValidFrom(ks, 3, {0, 1, 3, 4}));
+}
+
+TEST(BlockTest, DigestCoversIdAndTxs) {
+  auto b1 = MakeBlock(Coll({0}), 0, 1);
+  auto b2 = MakeBlock(Coll({0}), 0, 2);
+  EXPECT_NE(b1->Digest(), b2->Digest());
+  auto b3 = MakeBlock(Coll({0}), 0, 1, {}, 4);
+  EXPECT_NE(b1->Digest(), b3->Digest());
+}
+
+}  // namespace
+}  // namespace qanaat

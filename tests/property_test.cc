@@ -1,0 +1,403 @@
+// Property-based tests: invariants checked over randomized inputs and
+// parameterized sweeps (TEST_P), complementing the example-based suites.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "collections/tx_id.h"
+#include "common/enterprise_set.h"
+#include "common/rng.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "firewall/executor_core.h"
+#include "ledger/dag_ledger.h"
+#include "store/mvstore.h"
+
+namespace qanaat {
+namespace {
+
+// ----------------------------------------------- EnterpriseSet lattice
+
+class LatticeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LatticeProperty, SubsetRelationIsAPartialOrder) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EnterpriseSet a(static_cast<uint16_t>(rng.Next() & 0xff));
+    EnterpriseSet b(static_cast<uint16_t>(rng.Next() & 0xff));
+    EnterpriseSet c(static_cast<uint16_t>(rng.Next() & 0xff));
+    // Reflexive.
+    EXPECT_TRUE(a.IsSubsetOf(a));
+    // Antisymmetric.
+    if (a.IsSubsetOf(b) && b.IsSubsetOf(a)) EXPECT_EQ(a, b);
+    // Transitive.
+    if (a.IsSubsetOf(b) && b.IsSubsetOf(c)) EXPECT_TRUE(a.IsSubsetOf(c));
+    // Union is an upper bound, intersection a lower bound.
+    EXPECT_TRUE(a.IsSubsetOf(a.Union(b)));
+    EXPECT_TRUE(a.Intersect(b).IsSubsetOf(a));
+    // |A| + |B| = |A∪B| + |A∩B|.
+    EXPECT_EQ(a.size() + b.size(),
+              a.Union(b).size() + a.Intersect(b).size());
+  }
+}
+
+TEST_P(LatticeProperty, ReadPermissionFollowsOrderDependency) {
+  // CanRead ≡ OrderDependentOn ≡ ⊆; CanVerify ≡ ⊃ — and they never
+  // both hold unless equal/impossible.
+  Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 200; ++i) {
+    CollectionId x{EnterpriseSet(static_cast<uint16_t>(rng.Next() & 0xff))};
+    CollectionId y{EnterpriseSet(static_cast<uint16_t>(rng.Next() & 0xff))};
+    EXPECT_EQ(x.CanRead(y), x.members.IsSubsetOf(y.members));
+    EXPECT_EQ(x.CanVerify(y), y.members.IsProperSubsetOf(x.members));
+    if (x.CanRead(y) && x.CanVerify(y)) {
+      ADD_FAILURE() << "read and verify cannot both hold";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// --------------------------------------------------- SHA-256 streaming
+
+class ShaChunking : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShaChunking, IncrementalEqualsOneShotForAnyChunking) {
+  Rng rng(GetParam());
+  std::string data;
+  for (int i = 0; i < 777; ++i) {
+    data.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  Sha256 h;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t chunk = 1 + rng.Uniform(100);
+    chunk = std::min(chunk, data.size() - pos);
+    h.Update(data.data() + pos, chunk);
+    pos += chunk;
+  }
+  EXPECT_EQ(h.Finalize(), Sha256::Hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShaChunking,
+                         ::testing::Range(100, 110));
+
+// ------------------------------------------------------ Merkle proofs
+
+class MerkleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleProperty, ProofForWrongIndexFails) {
+  int n = GetParam();
+  std::vector<Sha256Digest> leaves;
+  for (int i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::Hash("leaf" + std::to_string(i)));
+  }
+  MerkleTree t(leaves);
+  for (int i = 0; i < n; ++i) {
+    auto proof = t.Prove(i);
+    // The right (leaf, index) verifies; the same proof with another leaf
+    // or a different index does not (except the duplicated-node corner
+    // at the end of odd levels, which never changes the attested leaf).
+    EXPECT_TRUE(MerkleTree::Verify(leaves[i], i, proof, t.Root()));
+    int j = (i + 1) % n;
+    if (j != i) {
+      EXPECT_FALSE(MerkleTree::Verify(leaves[j], i, proof, t.Root()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProperty,
+                         ::testing::Values(2, 3, 5, 8, 9, 16, 31, 33));
+
+// ------------------------------------------- MvStore snapshot semantics
+
+class MvStoreProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MvStoreProperty, SnapshotReadEqualsSerialReplay) {
+  // Model: apply random writes at increasing versions; GetAt(k, v) must
+  // equal the last write to k at version <= v in the reference log.
+  Rng rng(GetParam());
+  MvStore store;
+  std::map<std::pair<uint64_t, SeqNo>, int64_t> log;  // (key, ver) -> val
+  SeqNo version = 0;
+  for (int i = 0; i < 500; ++i) {
+    ++version;
+    int writes = 1 + static_cast<int>(rng.Uniform(4));
+    for (int w = 0; w < writes; ++w) {
+      uint64_t key = rng.Uniform(20);
+      auto val = static_cast<int64_t>(rng.Uniform(1000));
+      ASSERT_TRUE(store.Put(key, val, version).ok());
+      log[{key, version}] = val;
+    }
+  }
+  for (int probe = 0; probe < 300; ++probe) {
+    uint64_t key = rng.Uniform(20);
+    SeqNo at = 1 + rng.Uniform(version);
+    // Reference: scan the log backwards.
+    const int64_t* expect = nullptr;
+    for (SeqNo v = at; v >= 1 && expect == nullptr; --v) {
+      auto it = log.find({key, v});
+      if (it != log.end()) expect = &it->second;
+    }
+    auto got = store.GetAt(key, at);
+    if (expect == nullptr) {
+      EXPECT_FALSE(got.ok());
+    } else {
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, *expect);
+    }
+  }
+}
+
+TEST_P(MvStoreProperty, TrimPreservesReadsAtOrAboveFloor) {
+  Rng rng(GetParam() * 7 + 3);
+  MvStore store;
+  MvStore reference;
+  for (SeqNo v = 1; v <= 200; ++v) {
+    uint64_t key = rng.Uniform(5);
+    auto val = static_cast<int64_t>(v * 10);
+    ASSERT_TRUE(store.Put(key, val, v).ok());
+    ASSERT_TRUE(reference.Put(key, val, v).ok());
+  }
+  store.TrimBelow(120);
+  for (SeqNo at = 120; at <= 200; ++at) {
+    for (uint64_t key = 0; key < 5; ++key) {
+      auto a = store.GetAt(key, at);
+      auto b = reference.GetAt(key, at);
+      EXPECT_EQ(a.ok(), b.ok());
+      if (a.ok()) EXPECT_EQ(*a, *b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvStoreProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --------------------------------------------- DAG ledger γ invariants
+
+class LedgerGammaProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LedgerGammaProperty, RandomMonotoneHistoriesAlwaysAudit) {
+  Rng rng(GetParam());
+  KeyStore ks(9);
+  DagLedger ledger;
+  CollectionId root{EnterpriseSet{0, 1, 2, 3}};
+  CollectionId abc{EnterpriseSet{0, 1, 2}};
+  CollectionId ab{EnterpriseSet{0, 1}};
+  std::map<CollectionId, SeqNo> state;  // simulated committed state
+
+  auto append = [&](const CollectionId& c,
+                    std::vector<CollectionId> deps) -> Status {
+    auto b = std::make_shared<Block>();
+    b->id.alpha = {c, 0, state[c] + 1};
+    for (const auto& d : deps) {
+      b->id.gamma.push_back({d, state[d]});
+    }
+    Transaction tx;
+    tx.collection = c;
+    tx.client_ts = rng.Next();
+    tx.ops.push_back(TxOp{TxOp::Kind::kAdd, rng.Uniform(10), 1, {}});
+    b->txs.push_back(tx);
+    b->Seal();
+    CommitCertificate cert;
+    cert.block_digest = b->Digest();
+    cert.direct = true;
+    for (NodeId n = 0; n < 3; ++n) {
+      cert.sigs.push_back(ks.Sign(n, cert.block_digest));
+    }
+    Status st = ledger.Append(b, cert, 0);
+    if (st.ok()) state[c]++;
+    return st;
+  };
+
+  // Random interleaving of appends across the three chains; γ always
+  // captures the current committed state, so every append must succeed
+  // and the full audit must pass.
+  for (int i = 0; i < 300; ++i) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        ASSERT_TRUE(append(root, {}).ok());
+        break;
+      case 1:
+        ASSERT_TRUE(append(abc, {root}).ok());
+        break;
+      default:
+        ASSERT_TRUE(append(ab, {abc, root}).ok());
+        break;
+    }
+  }
+  EXPECT_TRUE(ledger.VerifyChain(ks, 3).ok());
+  // Heads equal the simulated state.
+  EXPECT_EQ(ledger.HeadOf({root, 0}), state[root]);
+  EXPECT_EQ(ledger.HeadOf({abc, 0}), state[abc]);
+  EXPECT_EQ(ledger.HeadOf({ab, 0}), state[ab]);
+}
+
+TEST_P(LedgerGammaProperty, RegressingGammaAlwaysRejected) {
+  Rng rng(GetParam() + 1000);
+  KeyStore ks(9);
+  DagLedger ledger;
+  CollectionId root{EnterpriseSet{0, 1}};
+  CollectionId local{EnterpriseSet{0}};
+
+  auto make = [&](SeqNo n, SeqNo gamma_m) {
+    auto b = std::make_shared<Block>();
+    b->id.alpha = {local, 0, n};
+    b->id.gamma.push_back({root, gamma_m});
+    Transaction tx;
+    tx.collection = local;
+    tx.client_ts = n;
+    tx.ops.push_back(TxOp{TxOp::Kind::kAdd, 1, 1, {}});
+    b->txs.push_back(tx);
+    b->Seal();
+    CommitCertificate cert;
+    cert.block_digest = b->Digest();
+    cert.direct = true;
+    cert.sigs.push_back(ks.Sign(0, cert.block_digest));
+    return std::make_pair(b, cert);
+  };
+
+  SeqNo gamma = 5;
+  for (SeqNo n = 1; n <= 50; ++n) {
+    // γ advances by a random non-negative amount...
+    gamma += rng.Uniform(3);
+    auto [b, cert] = make(n, gamma);
+    ASSERT_TRUE(ledger.Append(b, cert, 0).ok());
+    // ...and any attempt to regress is rejected.
+    if (gamma > 0) {
+      auto [bad, bad_cert] = make(n + 1, gamma - 1 - rng.Uniform(gamma));
+      EXPECT_EQ(ledger.Append(bad, bad_cert, 0).code(),
+                StatusCode::kFailedPrecondition);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LedgerGammaProperty,
+                         ::testing::Values(5, 6, 7));
+
+// ------------------------------------------------ executor determinism
+
+class ExecutorDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorDeterminism, ReplicasProduceIdenticalResults) {
+  // Two independent executor cores fed the same blocks must produce
+  // byte-identical result digests and store contents — the property that
+  // lets g+1 matching replies certify execution (paper §4.2).
+  Rng rng(GetParam());
+  Env env1(1), env2(2);  // different environments, same inputs
+  DataModel model(2);
+  ASSERT_TRUE(model.AddWorkflow(EnterpriseSet::All(2)).ok());
+  ExecutorCore a(&env1, &model, 0, 0);
+  ExecutorCore b(&env2, &model, 0, 0);
+  KeyStore ks(3);
+
+  CollectionId root{EnterpriseSet::All(2)};
+  CollectionId local{EnterpriseSet::Single(0)};
+  std::map<CollectionId, SeqNo> seq;
+
+  for (int i = 0; i < 100; ++i) {
+    CollectionId c = rng.Uniform(2) ? root : local;
+    auto blk = std::make_shared<Block>();
+    blk->id.alpha = {c, 0, ++seq[c]};
+    if (c == local) blk->id.gamma.push_back({root, seq[root]});
+    int ntx = 1 + static_cast<int>(rng.Uniform(5));
+    for (int t = 0; t < ntx; ++t) {
+      Transaction tx;
+      tx.collection = c;
+      tx.client = 1;
+      tx.client_ts = static_cast<uint64_t>(i) * 100 + t;
+      tx.ops.push_back(TxOp{TxOp::Kind::kAdd, rng.Uniform(30),
+                            static_cast<int64_t>(rng.Uniform(100)) - 50,
+                            {}});
+      if (c == local && rng.Uniform(3) == 0) {
+        tx.ops.push_back(
+            TxOp{TxOp::Kind::kReadDep, rng.Uniform(30), 0, root});
+      }
+      blk->txs.push_back(std::move(tx));
+    }
+    blk->Seal();
+    CommitCertificate cert;
+    cert.block_digest = blk->Digest();
+    cert.direct = true;
+    cert.sigs.push_back(ks.Sign(0, cert.block_digest));
+
+    Sha256Digest ra, rb;
+    ASSERT_TRUE(a.Submit(blk, cert, blk->id.alpha, blk->id.gamma,
+                         [&ra](const ExecutorCore::ExecResult& r) {
+                           ra = r.result_digest;
+                         })
+                    .ok());
+    ASSERT_TRUE(b.Submit(blk, cert, blk->id.alpha, blk->id.gamma,
+                         [&rb](const ExecutorCore::ExecResult& r) {
+                           rb = r.result_digest;
+                         })
+                    .ok());
+    ASSERT_EQ(ra, rb) << "divergent execution at block " << i;
+  }
+  // Store contents agree on every key.
+  for (uint64_t key = 0; key < 30; ++key) {
+    auto va = a.StoreOf(local).Get(key);
+    auto vb = b.StoreOf(local).Get(key);
+    ASSERT_EQ(va.ok(), vb.ok());
+    if (va.ok()) EXPECT_EQ(*va, *vb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorDeterminism,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// --------------------------------------------------- Zipf distribution
+
+TEST(ZipfProperty, FrequenciesDecreaseWithRank) {
+  Rng rng(77);
+  for (double s : {0.5, 1.0, 2.0}) {
+    Zipf z(1000, s);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 100000; ++i) counts[z.Sample(rng)]++;
+    // Coarse monotonicity over rank buckets.
+    int head = counts[0] + counts[1] + counts[2];
+    int mid = counts[10] + counts[11] + counts[12];
+    int tail = counts[500] + counts[501] + counts[502];
+    EXPECT_GT(head, mid);
+    EXPECT_GE(mid, tail);
+  }
+}
+
+// ------------------------------------------------- TxId predicates
+
+class TxIdProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TxIdProperty, GlobalConsistencyIsIntersectionMonotonicity) {
+  Rng rng(GetParam());
+  CollectionId chain{EnterpriseSet{0, 1}};
+  std::vector<CollectionId> deps = {
+      CollectionId{EnterpriseSet{0, 1, 2}},
+      CollectionId{EnterpriseSet{0, 1, 3}},
+      CollectionId{EnterpriseSet{0, 1, 2, 3}},
+  };
+  for (int i = 0; i < 300; ++i) {
+    TxId a, b;
+    a.alpha = {chain, 0, 1};
+    b.alpha = {chain, 0, 2};
+    bool violates = false;
+    for (const auto& d : deps) {
+      bool in_a = rng.Uniform(2);
+      bool in_b = rng.Uniform(2);
+      SeqNo ma = rng.Uniform(10);
+      SeqNo mb = rng.Uniform(10);
+      if (in_a) a.gamma.push_back({d, ma});
+      if (in_b) b.gamma.push_back({d, mb});
+      if (in_a && in_b && ma > mb) violates = true;
+    }
+    EXPECT_EQ(CheckGlobalConsistency(a, b).ok(), !violates);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxIdProperty,
+                         ::testing::Values(42, 43, 44, 45));
+
+}  // namespace
+}  // namespace qanaat

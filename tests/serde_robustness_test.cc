@@ -1,0 +1,120 @@
+// Robustness of the wire decoders: any truncation or bit-flip of a
+// serialized structure must be either detected (decode fails) or decode
+// into a *different* value — never crash, never silently round-trip to
+// the original under a changed byte (which would break digests).
+
+#include <gtest/gtest.h>
+
+#include "collections/tx_id.h"
+#include "common/rng.h"
+#include "crypto/signer.h"
+#include "ledger/transaction.h"
+
+namespace qanaat {
+namespace {
+
+TxId SampleTxId() {
+  TxId id;
+  id.alpha = {CollectionId{EnterpriseSet{0, 1}}, 3, 42};
+  id.extra_alphas.push_back({CollectionId{EnterpriseSet{0, 1}}, 1, 17});
+  id.gamma.push_back({CollectionId{EnterpriseSet{0, 1, 2}}, 5});
+  id.gamma.push_back({CollectionId{EnterpriseSet{0, 1, 2, 3}}, 9});
+  return id;
+}
+
+Transaction SampleTx() {
+  Transaction tx;
+  tx.client = 7;
+  tx.client_ts = 1234;
+  tx.collection = CollectionId{EnterpriseSet{0, 2}};
+  tx.shards = {1, 3};
+  tx.initiator = 2;
+  tx.ops.push_back(TxOp{TxOp::Kind::kAdd, 99, -5, {}});
+  tx.ops.push_back(TxOp{TxOp::Kind::kReadDep, 7, 0,
+                        CollectionId{EnterpriseSet{0, 1, 2}}});
+  KeyStore ks(1);
+  tx.client_sig = ks.Sign(7, tx.Digest());
+  return tx;
+}
+
+TEST(SerdeRobustness, TxIdEveryTruncationDetected) {
+  Encoder enc;
+  SampleTxId().EncodeTo(&enc);
+  const auto& buf = enc.buffer();
+  for (size_t len = 0; len < buf.size(); ++len) {
+    Decoder dec(buf.data(), len);
+    TxId out;
+    EXPECT_FALSE(TxId::DecodeFrom(&dec, &out)) << "len=" << len;
+  }
+  // The full buffer round-trips.
+  Decoder dec(buf);
+  TxId out;
+  ASSERT_TRUE(TxId::DecodeFrom(&dec, &out));
+  EXPECT_EQ(out, SampleTxId());
+}
+
+TEST(SerdeRobustness, TransactionEveryTruncationDetected) {
+  Encoder enc;
+  SampleTx().EncodeTo(&enc);
+  const auto& buf = enc.buffer();
+  for (size_t len = 0; len < buf.size(); ++len) {
+    Decoder dec(buf.data(), len);
+    Transaction out;
+    EXPECT_FALSE(Transaction::DecodeFrom(&dec, &out)) << "len=" << len;
+  }
+  Decoder dec(buf);
+  Transaction out;
+  ASSERT_TRUE(Transaction::DecodeFrom(&dec, &out));
+  EXPECT_EQ(out.Digest(), SampleTx().Digest());
+}
+
+TEST(SerdeRobustness, BitFlipsNeverPreserveTransactionDigest) {
+  Transaction tx = SampleTx();
+  Encoder enc;
+  tx.EncodeBodyTo(&enc);
+  auto buf = enc.buffer();
+  Sha256Digest original = Sha256::Hash(buf);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = buf;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+    EXPECT_NE(Sha256::Hash(mutated), original);
+  }
+}
+
+TEST(SerdeRobustness, RandomGarbageNeverCrashesDecoders) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t len = rng.Uniform(200);
+    std::vector<uint8_t> garbage(len);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Next());
+    {
+      Decoder dec(garbage);
+      TxId out;
+      (void)TxId::DecodeFrom(&dec, &out);  // must not crash / overflow
+    }
+    {
+      Decoder dec(garbage);
+      Transaction out;
+      (void)Transaction::DecodeFrom(&dec, &out);
+    }
+    {
+      Decoder dec(garbage);
+      ThresholdCert out;
+      (void)ThresholdCert::DecodeFrom(&dec, &out);
+    }
+  }
+}
+
+TEST(SerdeRobustness, ThresholdCertRejectsAbsurdCounts) {
+  // A length field claiming 2^31 shares must not allocate gigabytes.
+  Encoder enc;
+  enc.PutU32(0x7fffffff);
+  Decoder dec(enc.buffer());
+  ThresholdCert out;
+  EXPECT_FALSE(ThresholdCert::DecodeFrom(&dec, &out));
+}
+
+}  // namespace
+}  // namespace qanaat

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace qanaat {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, TieBreaksByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, RunStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { fired++; });
+  sim.Schedule(100, [&] { fired++; });
+  sim.Run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.Run(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.Schedule(10, recurse);
+  };
+  sim.Schedule(0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(SimulatorTest, PastScheduleClampedToNow) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.Schedule(100, [&] {
+    sim.ScheduleAt(5, [&] { observed = sim.now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(observed, 100);
+}
+
+// ------------------------------------------------------------- Network
+
+class EchoActor : public Actor {
+ public:
+  EchoActor(Env* env, int region) : Actor(env, "echo", region) {}
+  void OnMessage(NodeId from, const MessageRef& msg) override {
+    received++;
+    last_from = from;
+    last_time = now();
+    (void)msg;
+  }
+  int received = 0;
+  NodeId last_from = kInvalidNode;
+  SimTime last_time = 0;
+};
+
+struct NetFixture {
+  NetFixture() : env(1), net(&env) {}
+  Env env;
+  Network net;
+};
+
+MessageRef MakeMsg() {
+  auto m = std::make_shared<Message>(MsgType::kRequest);
+  m->sig_verify_ops = 0;
+  return m;
+}
+
+TEST(NetworkTest, DeliversWithLanLatency) {
+  NetFixture f;
+  f.env.costs.jitter_us = 0;
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 1);
+  // latency + processing cost
+  EXPECT_GE(b.last_time, f.env.costs.lan_latency_us);
+}
+
+TEST(NetworkTest, WanLatencyFromRttMatrix) {
+  NetFixture f;
+  f.env.costs.jitter_us = 0;
+  int r1 = f.net.AddRegion();
+  EchoActor a(&f.env, 0), b(&f.env, r1);
+  f.net.SetRtt(0, r1, 100000);  // 100 ms RTT -> 50 ms one-way
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 1);
+  EXPECT_GE(b.last_time, 50000);
+  EXPECT_LT(b.last_time, 52000);
+}
+
+TEST(NetworkTest, CrashedNodesDropTraffic) {
+  NetFixture f;
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  b.Crash();
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 0);
+  b.Recover();
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 1);
+}
+
+TEST(NetworkTest, PartitionBlocksBothDirectionsUntilHealed) {
+  NetFixture f;
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  f.net.Partition(a.id(), b.id());
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.net.Send(b.id(), a.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(a.received + b.received, 0);
+  f.net.HealPartition(a.id(), b.id());
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 1);
+}
+
+TEST(NetworkTest, LinkRestrictionEnforcedBothWays) {
+  // The privacy firewall's physical wiring: a restricted node can only
+  // talk to its allow-list, and others cannot reach it either.
+  NetFixture f;
+  EchoActor exec(&f.env, 0), filter(&f.env, 0), client(&f.env, 0);
+  f.net.RestrictLinks(exec.id(), {filter.id()});
+  f.net.Send(exec.id(), client.id(), MakeMsg());  // leak attempt
+  f.env.sim.RunAll();
+  EXPECT_EQ(client.received, 0);
+  EXPECT_EQ(f.net.blocked_sends(), 1u);
+  f.net.Send(exec.id(), filter.id(), MakeMsg());  // allowed path
+  f.env.sim.RunAll();
+  EXPECT_EQ(filter.received, 1);
+  f.net.Send(client.id(), exec.id(), MakeMsg());  // reverse also blocked
+  f.env.sim.RunAll();
+  EXPECT_EQ(exec.received, 0);
+}
+
+TEST(NetworkTest, DropRateLosesSomeMessages) {
+  NetFixture f;
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  f.net.SetDropRate(0.5);
+  for (int i = 0; i < 200; ++i) f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_GT(b.received, 50);
+  EXPECT_LT(b.received, 150);
+}
+
+TEST(NetworkTest, SerialCpuQueueDelaysBursts) {
+  // Two messages arriving together: the second handler runs after the
+  // first's processing completes (M/G/1 behaviour).
+  NetFixture f;
+  f.env.costs.jitter_us = 0;
+  f.env.costs.base_proc_us = 100;
+  f.env.costs.verify_sig_us = 0;
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 2);
+  // Arrival ~250, first done ~350, second done ~450.
+  EXPECT_GE(b.last_time, 450);
+}
+
+TEST(NetworkTest, BandwidthAddsTransmissionDelay) {
+  NetFixture f;
+  f.env.costs.jitter_us = 0;
+  f.env.costs.bandwidth_bytes_per_us = 1.0;  // 1 byte/us
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  auto m = std::make_shared<Message>(MsgType::kRequest);
+  m->sig_verify_ops = 0;
+  m->wire_bytes = 10000;
+  f.net.Send(a.id(), b.id(), m);
+  f.env.sim.RunAll();
+  EXPECT_GE(b.last_time, 10000 + f.env.costs.lan_latency_us);
+}
+
+TEST(NetworkTest, MulticastReachesAll) {
+  NetFixture f;
+  EchoActor a(&f.env, 0), b(&f.env, 0), c(&f.env, 0), d(&f.env, 0);
+  f.net.Multicast(a.id(), {b.id(), c.id(), d.id()}, MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received + c.received + d.received, 3);
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Env env(seed);
+    Network net(&env);
+    EchoActor a(&env, 0), b(&env, 0);
+    std::vector<SimTime> times;
+    for (int i = 0; i < 20; ++i) net.Send(a.id(), b.id(), MakeMsg());
+    env.sim.RunAll();
+    return b.last_time;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // jitter differs with seed
+}
+
+// ----------------------------------------------------------- timers
+
+class TimerActor : public Actor {
+ public:
+  explicit TimerActor(Env* env) : Actor(env, "timer") {}
+  void OnMessage(NodeId, const MessageRef&) override {}
+  void OnTimer(uint64_t tag, uint64_t payload) override {
+    fired.emplace_back(tag, payload);
+  }
+  void Arm(SimTime d, uint64_t tag, uint64_t payload) {
+    StartTimer(d, tag, payload);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> fired;
+};
+
+TEST(ActorTimerTest, FiresWithTagAndPayload) {
+  NetFixture f;
+  TimerActor t(&f.env);
+  t.Arm(100, 7, 42);
+  f.env.sim.RunAll();
+  ASSERT_EQ(t.fired.size(), 1u);
+  EXPECT_EQ(t.fired[0], std::make_pair(uint64_t{7}, uint64_t{42}));
+}
+
+TEST(ActorTimerTest, CrashedActorTimersDontFire) {
+  NetFixture f;
+  TimerActor t(&f.env);
+  t.Arm(100, 1, 0);
+  t.Crash();
+  f.env.sim.RunAll();
+  EXPECT_TRUE(t.fired.empty());
+}
+
+}  // namespace
+}  // namespace qanaat
