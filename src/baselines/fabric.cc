@@ -249,7 +249,15 @@ void FabricPeer::OnMessage(NodeId from, const MessageRef& msg) {
 FabricOrderer::FabricOrderer(Env* env, FabricSystem* sys, int index)
     : Actor(env, "fabric-orderer/" + std::to_string(index)),
       sys_(sys),
-      index_(index) {}
+      index_(index),
+      batcher_(
+          BatcherConfig{sys->config().batch_size,
+                        sys->config().batch_timeout_us},
+          [this](SimTime delay, uint64_t token) {
+            StartTimer(delay, kTagBatch, token);
+          },
+          [this](const int& /*channel*/, std::vector<EndorsedTx> txs,
+                 BatchClose /*why*/) { CloseBatch(std::move(txs)); }) {}
 
 bool FabricOrderer::IsLeader() const { return index_ == 0; }
 
@@ -292,15 +300,7 @@ void FabricOrderer::OnMessage(NodeId from, const MessageRef& msg) {
         env()->metrics.Inc("fabric.early_aborted");
         return;
       }
-      pending_.push_back(msg->As<OrderSubmitMsg>()->etx);
-      if (!timer_armed_) {
-        timer_armed_ = true;
-        StartTimer(sys_->config().batch_timeout_us, kTagBatch, 0);
-      }
-      if (pending_.size() >=
-          static_cast<size_t>(sys_->config().batch_size)) {
-        CloseBatch();
-      }
+      batcher_.Add(0, msg->As<OrderSubmitMsg>()->etx);
       break;
     }
     case MsgType::kRaftAppend: {
@@ -338,15 +338,13 @@ void FabricOrderer::OnMessage(NodeId from, const MessageRef& msg) {
   }
 }
 
-void FabricOrderer::OnTimer(uint64_t tag, uint64_t /*payload*/) {
+void FabricOrderer::OnTimer(uint64_t tag, uint64_t payload) {
   if (tag != kTagBatch) return;
-  timer_armed_ = false;
-  if (!pending_.empty()) CloseBatch();
+  batcher_.OnTimer(payload);
 }
 
-void FabricOrderer::CloseBatch() {
-  auto txs = std::make_shared<std::vector<EndorsedTx>>(std::move(pending_));
-  pending_.clear();
+void FabricOrderer::CloseBatch(std::vector<EndorsedTx> batch) {
+  auto txs = std::make_shared<std::vector<EndorsedTx>>(std::move(batch));
   uint64_t index = next_block_++;
   if (sys_->config().variant == FabricVariant::kFabricPP) {
     for (const auto& etx : *txs) {

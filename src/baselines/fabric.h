@@ -8,6 +8,7 @@
 
 #include "baselines/fabric_messages.h"
 #include "collections/data_model.h"
+#include "consensus/batcher.h"
 #include "common/histogram.h"
 #include "sim/network.h"
 #include "workload/smallbank.h"
@@ -132,7 +133,8 @@ class FabricOrderer : public Actor {
 
  private:
   static constexpr uint64_t kTagBatch = 1;
-  void CloseBatch();
+  /// Batcher flush sink: cuts the block and replicates it via Raft.
+  void CloseBatch(std::vector<EndorsedTx> txs);
 
   /// Fabric++ early abort: the orderer tracks the last block that wrote
   /// each key; a submission whose read versions are already stale is
@@ -142,10 +144,12 @@ class FabricOrderer : public Actor {
 
   FabricSystem* sys_;
   int index_;
-  std::vector<EndorsedTx> pending_;
+  /// Block cutting (size- or timeout-triggered), shared with Qanaat's
+  /// ordering layer so batching comparisons stay apples-to-apples. The
+  /// single channel is one flow (key 0).
+  Batcher<EndorsedTx, int> batcher_;
   std::map<std::pair<uint16_t, uint64_t>, uint64_t> last_write_block_;
   uint64_t early_aborted_ = 0;
-  bool timer_armed_ = false;
   uint64_t next_block_ = 1;
   // Replication bookkeeping: block index -> acks.
   std::map<uint64_t, std::set<NodeId>> acks_;

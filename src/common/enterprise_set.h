@@ -1,7 +1,6 @@
 #ifndef QANAAT_COMMON_ENTERPRISE_SET_H_
 #define QANAAT_COMMON_ENTERPRISE_SET_H_
 
-#include <bit>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -45,7 +44,7 @@ class EnterpriseSet {
 
   bool Contains(EnterpriseId e) const { return (mask_ >> e) & 1u; }
   bool empty() const { return mask_ == 0; }
-  int size() const { return std::popcount(mask_); }
+  int size() const { return __builtin_popcount(mask_); }
   uint16_t mask() const { return mask_; }
 
   /// True iff this ⊆ other. d_this is order-dependent on d_other and its
@@ -82,7 +81,7 @@ class EnterpriseSet {
 
   /// The lowest-numbered member (undefined on empty set).
   EnterpriseId First() const {
-    return static_cast<EnterpriseId>(std::countr_zero(mask_));
+    return static_cast<EnterpriseId>(__builtin_ctz(mask_));
   }
 
   /// Label in the paper's notation: enterprise 0 -> 'A', e.g. "ABD".

@@ -1,7 +1,6 @@
 #include "common/histogram.h"
 
 #include <algorithm>
-#include <bit>
 #include <limits>
 
 namespace qanaat {
@@ -17,7 +16,7 @@ Histogram::Histogram()
 // relative error — enough for throughput/latency tables.
 int Histogram::BucketFor(int64_t v) {
   if (v < 8) return static_cast<int>(v < 0 ? 0 : v);
-  int msb = 63 - std::countl_zero(static_cast<uint64_t>(v));
+  int msb = 63 - __builtin_clzll(static_cast<uint64_t>(v));
   int sub = static_cast<int>((v >> (msb - 3)) & 7);  // top-3 bits below msb
   int b = (msb - 2) * 8 + sub;
   return std::min(b, kNumBuckets - 1);

@@ -1,0 +1,17 @@
+#include "consensus/batcher.h"
+
+namespace qanaat {
+
+const char* BatchCloseName(BatchClose c) {
+  switch (c) {
+    case BatchClose::kSize:
+      return "size";
+    case BatchClose::kTimeout:
+      return "timeout";
+    case BatchClose::kFlush:
+      return "flush";
+  }
+  return "unknown";
+}
+
+}  // namespace qanaat

@@ -1,0 +1,147 @@
+#ifndef QANAAT_CONSENSUS_BATCHER_H_
+#define QANAAT_CONSENSUS_BATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace qanaat {
+
+/// Why a batch was closed.
+enum class BatchClose : uint8_t {
+  kSize = 0,     // reached max_batch pending items
+  kTimeout = 1,  // flush window elapsed since the first pending item
+  kFlush = 2,    // host forced a flush (shutdown, leadership change)
+};
+
+const char* BatchCloseName(BatchClose c);
+
+struct BatcherConfig {
+  /// Close a batch as soon as this many items are pending on one flow.
+  int max_batch = 100;
+  /// Otherwise close it this long after the flow's first pending item.
+  SimTime flush_timeout_us = 2000;
+};
+
+/// Size- and timeout-triggered request batcher, the amortization layer in
+/// front of consensus: a full consensus round costs the same for 1 or 256
+/// requests, so the primary accumulates requests per flow (items that can
+/// legally share one ordered batch) and closes a batch at `max_batch`
+/// items or `flush_timeout_us` after the first one, whichever comes first
+/// — the block-cutting rule of production ordering services.
+///
+/// The batcher is transport- and time-agnostic: the host supplies an
+/// `arm_timer` primitive (schedule a callback after a delay, identified
+/// by an opaque token routed back into OnTimer) and a `flush` sink that
+/// receives each closed batch. Stale timers are invalidated internally —
+/// a flow whose batch already closed by size ignores its pending timer.
+template <typename Item, typename Key>
+class Batcher {
+ public:
+  using FlushFn =
+      std::function<void(const Key&, std::vector<Item>, BatchClose)>;
+  using ArmTimerFn = std::function<void(SimTime delay, uint64_t token)>;
+
+  Batcher(BatcherConfig cfg, ArmTimerFn arm_timer, FlushFn flush)
+      : cfg_(cfg),
+        arm_timer_(std::move(arm_timer)),
+        flush_(std::move(flush)) {}
+
+  /// Adds one item to `key`'s pending batch. `timeout_override` (0 = use
+  /// the configured window) supports per-flow windows: cross-cluster
+  /// flows amortize a much costlier protocol, so they batch longer.
+  void Add(const Key& key, Item item, SimTime timeout_override = 0) {
+    Flow& flow = flows_[key];
+    flow.pending.push_back(std::move(item));
+    ++items_in_;
+    if (flow.pending.size() >= static_cast<size_t>(cfg_.max_batch)) {
+      // Closing by size right away: never arm a timer that would only
+      // fire stale (matters at batch size 1, where it would double the
+      // timer load of the hot path).
+      Close(key, flow, BatchClose::kSize);
+      return;
+    }
+    if (flow.pending.size() == 1 && !flow.timer_armed) {
+      flow.timer_armed = true;
+      flow.token = next_token_++;
+      token_to_key_[flow.token] = key;
+      SimTime window =
+          timeout_override > 0 ? timeout_override : cfg_.flush_timeout_us;
+      arm_timer_(window, flow.token);
+    }
+  }
+
+  /// Routes a timer armed via `arm_timer` back in; closes the flow's
+  /// batch if it is still pending. Tokens of batches that already closed
+  /// were deregistered at close time, so a stale timer is a no-op.
+  void OnTimer(uint64_t token) {
+    auto tk = token_to_key_.find(token);
+    if (tk == token_to_key_.end()) return;
+    Key key = tk->second;
+    token_to_key_.erase(tk);
+    auto it = flows_.find(key);
+    if (it == flows_.end()) return;
+    it->second.timer_armed = false;
+    if (!it->second.pending.empty()) {
+      Close(key, it->second, BatchClose::kTimeout);
+    }
+  }
+
+  /// Force-closes every non-empty batch (leadership change, shutdown).
+  void FlushAll() {
+    for (auto& [key, flow] : flows_) {
+      if (!flow.pending.empty()) Close(key, flow, BatchClose::kFlush);
+    }
+  }
+
+  size_t PendingOf(const Key& key) const {
+    auto it = flows_.find(key);
+    return it == flows_.end() ? 0 : it->second.pending.size();
+  }
+
+  const BatcherConfig& config() const { return cfg_; }
+  uint64_t items_in() const { return items_in_; }
+  uint64_t batches_closed() const { return batches_closed_; }
+  uint64_t closed_by_size() const { return closed_by_size_; }
+  uint64_t closed_by_timeout() const { return closed_by_timeout_; }
+
+ private:
+  struct Flow {
+    std::vector<Item> pending;
+    uint64_t token = 0;  // the armed timer's token, valid iff timer_armed
+    bool timer_armed = false;
+  };
+
+  void Close(const Key& key, Flow& flow, BatchClose why) {
+    std::vector<Item> batch = std::move(flow.pending);
+    flow.pending.clear();
+    if (flow.timer_armed) {
+      // Deregister the armed timer so its eventual firing is a no-op.
+      token_to_key_.erase(flow.token);
+      flow.timer_armed = false;
+    }
+    ++batches_closed_;
+    if (why == BatchClose::kSize) ++closed_by_size_;
+    if (why == BatchClose::kTimeout) ++closed_by_timeout_;
+    flush_(key, std::move(batch), why);
+  }
+
+  BatcherConfig cfg_;
+  ArmTimerFn arm_timer_;
+  FlushFn flush_;
+  std::map<Key, Flow> flows_;
+  std::map<uint64_t, Key> token_to_key_;
+  uint64_t next_token_ = 0;
+  uint64_t items_in_ = 0;
+  uint64_t batches_closed_ = 0;
+  uint64_t closed_by_size_ = 0;
+  uint64_t closed_by_timeout_ = 0;
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_CONSENSUS_BATCHER_H_

@@ -23,6 +23,11 @@ struct EngineContext {
   std::vector<NodeId> cluster;
   int self_index = 0;
 
+  /// Round pipelining: maximum slots the primary may have in flight
+  /// (proposed but not yet committed) at once. Further proposals queue
+  /// inside the engine and start as earlier slots commit. 0 = unbounded.
+  size_t pipeline_depth = 0;
+
   std::function<void(NodeId, MessageRef)> send;
   /// Multicast to every *other* ordering node of the cluster.
   std::function<void(MessageRef)> broadcast;
@@ -63,6 +68,12 @@ class InternalConsensus {
 
   /// Number of matching votes that constitutes a local-majority.
   virtual size_t Quorum() const = 0;
+
+  /// Slots this node proposed that have not yet committed (primary side;
+  /// bounded by ctx_.pipeline_depth when that is non-zero).
+  virtual size_t InFlight() const { return 0; }
+  /// Proposals waiting behind the pipeline-depth cap.
+  virtual size_t QueuedProposals() const { return 0; }
 
   static constexpr uint64_t kEngineTimerBase = 1u << 20;
 

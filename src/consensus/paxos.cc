@@ -12,6 +12,17 @@ void PaxosEngine::Propose(const ConsensusValue& v) {
     ctx_.env->metrics.Inc("paxos.propose_on_follower");
     return;
   }
+  // Pipelining: cap concurrently open slots; excess proposals queue and
+  // start as earlier slots learn.
+  if (AtPipelineCap()) {
+    propose_queue_.push_back(v);
+    ctx_.env->metrics.Inc("paxos.proposal_queued");
+    return;
+  }
+  StartSlot(v);
+}
+
+void PaxosEngine::StartSlot(const ConsensusValue& v) {
   uint64_t slot = next_slot_++;
   SlotState& st = slots_[slot];
   st.ballot = ballot_;
@@ -19,6 +30,7 @@ void PaxosEngine::Propose(const ConsensusValue& v) {
   st.digest = v.Digest();
   st.have_value = true;
   st.accepted.insert(ctx_.self);
+  my_open_slots_.insert(slot);
 
   auto acc = std::make_shared<PaxosAcceptMsg>();
   acc->ballot = ballot_;
@@ -31,8 +43,22 @@ void PaxosEngine::Propose(const ConsensusValue& v) {
 
   // f = 0 degenerate case: single-node cluster decides immediately.
   if (st.accepted.size() >= Quorum()) {
-    st.learned = true;
+    MarkLearned(slot);
     DeliverReady();
+  }
+}
+
+void PaxosEngine::MarkLearned(uint64_t slot) {
+  slots_[slot].learned = true;
+  my_open_slots_.erase(slot);
+  DrainProposeQueue();
+}
+
+void PaxosEngine::DrainProposeQueue() {
+  while (!propose_queue_.empty() && IsPrimary() && !AtPipelineCap()) {
+    ConsensusValue v = std::move(propose_queue_.front());
+    propose_queue_.pop_front();
+    StartSlot(v);
   }
 }
 
@@ -52,9 +78,25 @@ void PaxosEngine::OnMessage(NodeId from, const MessageRef& msg) {
   }
 }
 
+void PaxosEngine::DropProposeQueue() {
+  if (propose_queue_.empty()) return;
+  ctx_.env->metrics.Inc("paxos.queue_dropped_on_takeover",
+                        propose_queue_.size());
+  propose_queue_.clear();
+}
+
+void PaxosEngine::ObserveBallot(uint64_t b) {
+  if (b <= ballot_) return;
+  ballot_ = b;
+  // Leadership moved past us: queued proposals can only be driven by
+  // the new leader (clients retransmit there). Re-proposing them on a
+  // later takeover would duplicate already-committed transactions.
+  if (!IsPrimary()) DropProposeQueue();
+}
+
 void PaxosEngine::HandleAccept(NodeId from, const PaxosAcceptMsg& m) {
   if (m.ballot < ballot_) return;  // stale leader
-  if (m.ballot > ballot_) ballot_ = m.ballot;
+  ObserveBallot(m.ballot);
   if (from != PrimaryNode()) return;
   SlotState& st = slots_[m.slot];
   st.ballot = m.ballot;
@@ -75,21 +117,19 @@ void PaxosEngine::HandleAccepted(NodeId from, const PaxosAcceptedMsg& m) {
   SlotState& st = slots_[m.slot];
   if (!st.have_value || st.digest != m.value_digest) return;
   st.accepted.insert(from);
-  if (st.learned || st.accepted.size() < Quorum()) {
-    if (!st.learned) return;
-    return;
-  }
-  st.learned = true;
+  if (st.learned || st.accepted.size() < Quorum()) return;
   auto learn = std::make_shared<PaxosLearnMsg>();
   learn->ballot = m.ballot;
   learn->slot = m.slot;
   learn->value_digest = st.digest;
   ctx_.broadcast(learn);
+  MarkLearned(m.slot);
   DeliverReady();
 }
 
 void PaxosEngine::HandleLearn(NodeId from, const PaxosLearnMsg& m) {
   if (from != ctx_.cluster[m.ballot % ClusterSize()]) return;
+  ObserveBallot(m.ballot);
   SlotState& st = slots_[m.slot];
   if (!st.have_value || st.digest != m.value_digest) {
     // Value not seen yet (reordered delivery) — remember it is decided;
@@ -97,7 +137,7 @@ void PaxosEngine::HandleLearn(NodeId from, const PaxosLearnMsg& m) {
     ctx_.env->metrics.Inc("paxos.learn_before_value");
     return;
   }
-  st.learned = true;
+  MarkLearned(m.slot);
   DeliverReady();
 }
 
@@ -130,7 +170,11 @@ void PaxosEngine::OnTimer(uint64_t tag, uint64_t payload) {
   if (st.learned) return;
 
   // Leader takeover: bump the ballot until we own it, then re-drive every
-  // unfinished slot with our (possibly inherited) value.
+  // unfinished slot with our (possibly inherited) value. Anything still
+  // queued was queued under a leadership that has since timed out —
+  // clients have retransmitted by now, so re-proposing it here could
+  // duplicate transactions an interim leader already committed.
+  DropProposeQueue();
   uint64_t nb = ballot_ + 1;
   while (ctx_.cluster[nb % ClusterSize()] != ctx_.self) ++nb;
   ballot_ = nb;
@@ -141,11 +185,13 @@ void PaxosEngine::OnTimer(uint64_t tag, uint64_t payload) {
   for (auto& [s, ss] : slots_) max_slot = std::max(max_slot, s);
   next_slot_ = std::max(next_slot_, max_slot + 1);
 
+  my_open_slots_.clear();
   for (auto& [s, ss] : slots_) {
     if (ss.delivered || ss.learned || !ss.have_value) continue;
     ss.ballot = ballot_;
     ss.accepted.clear();
     ss.accepted.insert(ctx_.self);
+    my_open_slots_.insert(s);
     auto acc = std::make_shared<PaxosAcceptMsg>();
     acc->ballot = ballot_;
     acc->slot = s;

@@ -1,6 +1,7 @@
 #ifndef QANAAT_CONSENSUS_PAXOS_H_
 #define QANAAT_CONSENSUS_PAXOS_H_
 
+#include <deque>
 #include <map>
 #include <set>
 
@@ -18,6 +19,11 @@ namespace qanaat {
 /// handled by ballot takeover: the next node (ballot mod n) assumes
 /// leadership after a timeout and re-drives unfinished slots. Messages
 /// are MAC-authenticated (no signature verification cost).
+///
+/// Pipelining: the leader keeps up to `ctx.pipeline_depth` slots in
+/// flight (accepted but not yet learned); excess proposals queue inside
+/// the engine and start as earlier slots learn. Delivery stays in slot
+/// order. 0 = unbounded.
 class PaxosEngine : public InternalConsensus {
  public:
   PaxosEngine(EngineContext ctx, int f, SimTime base_timeout_us);
@@ -39,6 +45,8 @@ class PaxosEngine : public InternalConsensus {
   std::vector<Signature> CommitProof(uint64_t) const override { return {}; }
 
   uint64_t last_delivered() const { return last_delivered_; }
+  size_t InFlight() const override { return my_open_slots_.size(); }
+  size_t QueuedProposals() const override { return propose_queue_.size(); }
 
  private:
   struct SlotState {
@@ -59,6 +67,17 @@ class PaxosEngine : public InternalConsensus {
   void HandleLearn(NodeId from, const PaxosLearnMsg& m);
   void DeliverReady();
   void ArmSlotTimer(uint64_t slot);
+  bool AtPipelineCap() const {
+    return ctx_.pipeline_depth > 0 &&
+           my_open_slots_.size() >= ctx_.pipeline_depth;
+  }
+  void StartSlot(const ConsensusValue& v);
+  void MarkLearned(uint64_t slot);
+  void DrainProposeQueue();
+  /// Adopts a higher observed ballot; drops the propose queue when that
+  /// moves leadership away from this node.
+  void ObserveBallot(uint64_t b);
+  void DropProposeQueue();
 
   int f_;
   SimTime base_timeout_;
@@ -66,6 +85,10 @@ class PaxosEngine : public InternalConsensus {
   uint64_t next_slot_ = 1;
   uint64_t last_delivered_ = 0;
   std::map<uint64_t, SlotState> slots_;
+  // Pipelining: slots we drove that are not learned yet, and proposals
+  // queued behind the pipeline-depth cap.
+  std::set<uint64_t> my_open_slots_;
+  std::deque<ConsensusValue> propose_queue_;
 };
 
 }  // namespace qanaat

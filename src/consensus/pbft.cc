@@ -61,17 +61,39 @@ void PbftEngine::Propose(const ConsensusValue& v) {
     ctx_.env->metrics.Inc("pbft.propose_on_backup");
     return;
   }
+  // Pipelining: cap concurrently open slots; excess proposals queue and
+  // start as earlier slots commit. A proposal arriving mid-view-change
+  // also queues (a pre-prepare in a dying view would be wasted).
+  if (AtPipelineCap() || in_view_change_) {
+    propose_queue_.push_back(v);
+    ctx_.env->metrics.Inc("pbft.proposal_queued");
+    return;
+  }
+  StartSlot(v);
+}
+
+void PbftEngine::StartSlot(const ConsensusValue& v) {
   uint64_t slot = next_slot_++;
   SlotState& st = slots_[slot];
   st.view = view_;
   st.value = v;
   st.digest = v.Digest();
   st.have_preprepare = true;
+  my_open_slots_.insert(slot);
   SendPrePrepare(slot, st);
   // The primary's own PREPARE is implicit in the PRE-PREPARE.
   st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
       ctx_.self, SignableDigest(view_, slot, st.digest));
   ArmSlotTimer(slot);
+}
+
+void PbftEngine::DrainProposeQueue() {
+  while (!propose_queue_.empty() && IsPrimary() && !in_view_change_ &&
+         !AtPipelineCap()) {
+    ConsensusValue v = std::move(propose_queue_.front());
+    propose_queue_.pop_front();
+    StartSlot(v);
+  }
 }
 
 void PbftEngine::ArmSlotTimer(uint64_t slot) {
@@ -260,7 +282,9 @@ void PbftEngine::MaybeCommitted(uint64_t slot) {
   if (st.committed || !st.prepared) return;
   if (st.commits.size() < Quorum()) return;
   st.committed = true;
+  my_open_slots_.erase(slot);
   DeliverReady();
+  DrainProposeQueue();
 }
 
 void PbftEngine::DeliverReady() {
@@ -338,6 +362,10 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
   ++view_change_count_;
   ctx_.env->metrics.Inc("pbft.view_installed");
 
+  // Open-slot accounting restarts in the new view (re-proposed slots are
+  // re-opened below at the new primary).
+  my_open_slots_.clear();
+
   // Reset per-slot vote state for undelivered slots; prepared slots are
   // re-proposed by the new primary below.
   uint64_t max_slot = last_delivered_;
@@ -363,6 +391,7 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       st.value = p.value;
       st.digest = p.value_digest;
       st.have_preprepare = true;
+      my_open_slots_.insert(p.slot);
       SendPrePrepare(p.slot, st);
       st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
           ctx_.self, SignableDigest(view_, p.slot, st.digest));
@@ -378,6 +407,7 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       st.value = ConsensusValue{};
       st.digest = st.value.Digest();
       st.have_preprepare = true;
+      my_open_slots_.insert(slot);
       SendPrePrepare(slot, st);
       st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
           ctx_.self, SignableDigest(view_, slot, st.digest));
@@ -403,6 +433,15 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       st.prepares[ctx_.self] = prep->sig;
       ArmSlotTimer(p.slot);
     }
+  }
+  // Queued proposals were accepted in an earlier view; even if this node
+  // is primary again now, the intervening views may have committed them
+  // via client retransmission, so re-proposing would duplicate them.
+  // Drop unconditionally — clients retransmit whatever really was lost.
+  if (!propose_queue_.empty()) {
+    ctx_.env->metrics.Inc("pbft.queue_dropped_on_view_change",
+                          propose_queue_.size());
+    propose_queue_.clear();
   }
   if (ctx_.on_view_change) {
     ctx_.on_view_change(view_, ctx_.cluster[view_ % ClusterSize()]);

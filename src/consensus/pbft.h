@@ -1,6 +1,7 @@
 #ifndef QANAAT_CONSENSUS_PBFT_H_
 #define QANAAT_CONSENSUS_PBFT_H_
 
+#include <deque>
 #include <map>
 #include <set>
 #include <vector>
@@ -22,6 +23,14 @@ namespace qanaat {
 /// before commit) broadcasts VIEW-CHANGE carrying its prepared proofs;
 /// the new primary collects 2f+1, broadcasts NEW-VIEW re-proposing every
 /// prepared slot, and timeouts double on consecutive failures (§4.3.4).
+///
+/// Pipelining: the primary runs up to `ctx.pipeline_depth` slots
+/// concurrently (each in its own PRE-PREPARE/PREPARE/COMMIT exchange);
+/// proposals beyond the cap queue inside the engine and start as earlier
+/// slots commit. Slots still *deliver* strictly in order, so pipelined
+/// rounds overlap network latency without reordering execution. Queued
+/// proposals are dropped if leadership moves (clients recover them by
+/// retransmitting to the new primary).
 class PbftEngine : public InternalConsensus {
  public:
   PbftEngine(EngineContext ctx, int f, SimTime base_timeout_us);
@@ -42,6 +51,8 @@ class PbftEngine : public InternalConsensus {
 
   uint64_t last_delivered() const { return last_delivered_; }
   uint64_t view_changes() const { return view_change_count_; }
+  size_t InFlight() const override { return my_open_slots_.size(); }
+  size_t QueuedProposals() const override { return propose_queue_.size(); }
 
   /// Byzantine-primary fault injection: when set, PRE-PREPAREs are
   /// equivocated (different digests to different replicas), which correct
@@ -73,6 +84,12 @@ class PbftEngine : public InternalConsensus {
   void MaybePrepared(uint64_t slot);
   void MaybeCommitted(uint64_t slot);
   void DeliverReady();
+  bool AtPipelineCap() const {
+    return ctx_.pipeline_depth > 0 &&
+           my_open_slots_.size() >= ctx_.pipeline_depth;
+  }
+  void StartSlot(const ConsensusValue& v);
+  void DrainProposeQueue();
   void ArmSlotTimer(uint64_t slot);
   void StartViewChange(ViewNo target, bool lone_suspicion);
   void SendPrePrepare(uint64_t slot, SlotState& st);
@@ -89,6 +106,10 @@ class PbftEngine : public InternalConsensus {
   bool in_view_change_ = false;
   bool equivocate_ = false;
   std::map<uint64_t, SlotState> slots_;
+  // Pipelining: slots we proposed that have not committed yet, and
+  // proposals queued behind the pipeline-depth cap.
+  std::set<uint64_t> my_open_slots_;
+  std::deque<ConsensusValue> propose_queue_;
   // View-change bookkeeping: new_view -> sender -> message
   std::map<ViewNo, std::map<NodeId, std::shared_ptr<const ViewChangeMsg>>>
       view_changes_rcvd_;

@@ -30,6 +30,9 @@ struct ConsensusValue {
   Kind kind = Kind::kNoop;
   BlockPtr block;              // the block the value refers to
   Sha256Digest block_digest;   // digest of `block` (precomputed)
+  /// Why the batcher cut the batch this block carries (a BatchClose
+  /// value); observability only — not folded into the digest.
+  uint8_t batch_close = 0;
   /// kXOrder at an involved cluster: the single assignment this cluster
   /// made. kXCommit: every assignment collected in the prepared phase.
   std::vector<ShardAssignment> assignments;

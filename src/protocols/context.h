@@ -58,6 +58,13 @@ struct SystemParams {
   SimTime batch_timeout_us = 2000;
   SimTime cross_batch_timeout_us = 10000;
 
+  /// Round pipelining: maximum consensus slots a primary keeps in flight
+  /// (proposed but not yet committed) before further batches queue inside
+  /// the engine. Bounds per-view memory and view-change proof size while
+  /// overlapping the network round trips of consecutive rounds. 0 =
+  /// unbounded.
+  int pipeline_depth = 8;
+
   /// Internal consensus timeout; cross-cluster timers are a multiple
   /// (§4.3.4: at least 3x the WAN round-trip).
   SimTime consensus_timeout_us = 150'000;

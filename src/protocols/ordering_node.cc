@@ -16,12 +16,21 @@ OrderingNode::OrderingNode(Env* env, const Directory* dir,
       model_(model),
       cfg_(dir->Cluster(cluster_id)),
       index_(index),
-      exec_(env, model, cfg_.enterprise, cfg_.shard) {
+      exec_(env, model, cfg_.enterprise, cfg_.shard),
+      batcher_(
+          BatcherConfig{dir->params.batch_size, dir->params.batch_timeout_us},
+          [this](SimTime delay, uint64_t token) {
+            StartTimer(delay, kTagBatch, token);
+          },
+          [this](const FlowKey& key, std::vector<Transaction> txs,
+                 BatchClose why) { OnBatchClosed(key, std::move(txs), why); }) {
   EngineContext ctx;
   ctx.env = env;
   ctx.self = id();
   ctx.cluster = cfg_.ordering;
   ctx.self_index = index;
+  ctx.pipeline_depth = static_cast<size_t>(
+      dir_->params.pipeline_depth < 0 ? 0 : dir_->params.pipeline_depth);
   ctx.send = [this](NodeId to, MessageRef m) { Send(to, std::move(m)); };
   ctx.broadcast = [this](MessageRef m) {
     for (NodeId peer : cfg_.ordering) {
@@ -124,12 +133,7 @@ void OrderingNode::OnTimer(uint64_t tag, uint64_t payload) {
     return;
   }
   if (tag == kTagBatch) {
-    if (payload >= flow_by_epoch_.size()) return;
-    const FlowKey key = flow_by_epoch_[payload];
-    auto it = flows_.find(key);
-    if (it == flows_.end()) return;
-    it->second.timer_armed = false;
-    if (!it->second.pending.empty()) CloseBatch(key);
+    batcher_.OnTimer(payload);
     return;
   }
   if (tag == kTagRetry) {
@@ -173,7 +177,7 @@ std::vector<ShardId> OrderingNode::AllShards(const XState& xs) {
   return out;
 }
 
-void OrderingNode::HandleRequest(NodeId from, const RequestMsg& m) {
+void OrderingNode::HandleRequest(NodeId /*from*/, const RequestMsg& m) {
   const Transaction& tx = m.tx;
   // Authorization + signature (paper §4.1: "valid signed request from an
   // authorized client").
@@ -216,20 +220,11 @@ void OrderingNode::HandleRequest(NodeId from, const RequestMsg& m) {
   }
   seen_requests_.insert({tx.client, tx.client_ts});
 
+  // Requests of one flow (same collection + shard set) can legally share
+  // a block; cross-cluster flows use the longer batch window.
   FlowKey key{tx.collection, tx.shards};
-  Flow& flow = flows_[key];
-  if (flow.pending.empty() && !flow.timer_armed) {
-    flow.timer_armed = true;
-    flow.epoch = flow_by_epoch_.size();
-    flow_by_epoch_.push_back(key);
-    SimTime window = IsCross(key) ? dir_->params.cross_batch_timeout_us
-                                  : dir_->params.batch_timeout_us;
-    StartTimer(window, kTagBatch, flow.epoch);
-  }
-  flow.pending.push_back(tx);
-  if (flow.pending.size() >= static_cast<size_t>(dir_->params.batch_size)) {
-    CloseBatch(key);
-  }
+  SimTime window = IsCross(key) ? dir_->params.cross_batch_timeout_us : 0;
+  batcher_.Add(key, tx, window);
 }
 
 LocalPart OrderingNode::NextAlpha(const CollectionId& c) {
@@ -282,17 +277,18 @@ BlockPtr OrderingNode::MakeBlock(const FlowKey& key,
   return block;
 }
 
-void OrderingNode::CloseBatch(const FlowKey& key) {
-  Flow& flow = flows_[key];
-  std::vector<Transaction> txs = std::move(flow.pending);
-  flow.pending.clear();
-  flow.timer_armed = false;
+void OrderingNode::OnBatchClosed(const FlowKey& key,
+                                 std::vector<Transaction> txs,
+                                 BatchClose why) {
   if (txs.empty()) return;
+  env()->metrics.Inc(std::string("batch.closed_") + BatchCloseName(why));
+  env()->metrics.Hist("batch.txs").Add(static_cast<int64_t>(txs.size()));
 
   BlockPtr block = MakeBlock(key, std::move(txs));
   if (!IsCross(key)) {
     // Intra-shard intra-enterprise: internal consensus commits directly.
     ConsensusValue v = ConsensusValue::ForBlock(block);
+    v.batch_close = static_cast<uint8_t>(why);
     engine_->Propose(v);
     return;
   }

@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "consensus/batcher.h"
 #include "consensus/engine.h"
 #include "consensus/messages.h"
 #include "firewall/executor_core.h"
@@ -59,12 +60,6 @@ class OrderingNode : public Actor {
     }
   };
 
-  struct Flow {
-    std::vector<Transaction> pending;
-    uint64_t epoch = 0;  // invalidates stale batch timers
-    bool timer_armed = false;
-  };
-
   // Cross-cluster protocol state for one in-flight block.
   struct XState {
     BlockPtr block;
@@ -98,7 +93,10 @@ class OrderingNode : public Actor {
 
   // ---- request intake / batching
   void HandleRequest(NodeId from, const RequestMsg& m);
-  void CloseBatch(const FlowKey& key);
+  /// Batcher flush sink: seals the batch into a block and hands it to
+  /// internal consensus (intra-cluster) or a cross-cluster protocol.
+  void OnBatchClosed(const FlowKey& key, std::vector<Transaction> txs,
+                     BatchClose why);
   BlockPtr MakeBlock(const FlowKey& key, std::vector<Transaction> txs,
                      uint32_t attempt = 0);
   std::vector<GammaEntry> CaptureGamma(const CollectionId& c) const;
@@ -181,8 +179,7 @@ class OrderingNode : public Actor {
   std::unique_ptr<InternalConsensus> engine_;
   ExecutorCore exec_;
 
-  std::map<FlowKey, Flow> flows_;
-  std::vector<FlowKey> flow_by_epoch_;  // timer payload -> flow key
+  Batcher<Transaction, FlowKey> batcher_;
   std::map<CollectionId, SeqNo> state_;  // committed state (γ capture)
   std::map<CollectionId, SeqNo> next_seq_;
   // Validated slot claims on incoming cross-cluster IDs: which block

@@ -125,9 +125,17 @@ void ClientMachine::HandleReplyCert(const ReplyCertMsg& m) {
     env()->metrics.Inc("client.short_reply_cert");
     return;
   }
+  // Per-request matching inside a batched certificate: one block-granular
+  // certificate settles every pending request of ours it covers.
+  uint64_t settled = 0;
   for (const auto& [client, ts] : m.clients) {
     if (client != id()) continue;
     Settle(ts, true);
+    ++settled;
+  }
+  if (settled > 0) {
+    env()->metrics.Hist("client.settles_per_cert")
+        .Add(static_cast<int64_t>(settled));
   }
 }
 

@@ -31,9 +31,13 @@ TEST_P(LatticeProperty, SubsetRelationIsAPartialOrder) {
     // Reflexive.
     EXPECT_TRUE(a.IsSubsetOf(a));
     // Antisymmetric.
-    if (a.IsSubsetOf(b) && b.IsSubsetOf(a)) EXPECT_EQ(a, b);
+    if (a.IsSubsetOf(b) && b.IsSubsetOf(a)) {
+      EXPECT_EQ(a, b);
+    }
     // Transitive.
-    if (a.IsSubsetOf(b) && b.IsSubsetOf(c)) EXPECT_TRUE(a.IsSubsetOf(c));
+    if (a.IsSubsetOf(b) && b.IsSubsetOf(c)) {
+      EXPECT_TRUE(a.IsSubsetOf(c));
+    }
     // Union is an upper bound, intersection a lower bound.
     EXPECT_TRUE(a.IsSubsetOf(a.Union(b)));
     EXPECT_TRUE(a.Intersect(b).IsSubsetOf(a));
@@ -168,7 +172,9 @@ TEST_P(MvStoreProperty, TrimPreservesReadsAtOrAboveFloor) {
       auto a = store.GetAt(key, at);
       auto b = reference.GetAt(key, at);
       EXPECT_EQ(a.ok(), b.ok());
-      if (a.ok()) EXPECT_EQ(*a, *b);
+      if (a.ok()) {
+        EXPECT_EQ(*a, *b);
+      }
     }
   }
 }
@@ -342,7 +348,9 @@ TEST_P(ExecutorDeterminism, ReplicasProduceIdenticalResults) {
     auto va = a.StoreOf(local).Get(key);
     auto vb = b.StoreOf(local).Get(key);
     ASSERT_EQ(va.ok(), vb.ok());
-    if (va.ok()) EXPECT_EQ(*va, *vb);
+    if (va.ok()) {
+      EXPECT_EQ(*va, *vb);
+    }
   }
 }
 

@@ -176,6 +176,58 @@ TEST(SystemInvariants, ReplicasConvergeOnSharedCollections) {
   }
 }
 
+// ------------------------------------------------------------- batching
+
+TEST(SystemBatching, BatchedRunMatchesUnbatchedResults) {
+  // At a load both configurations sustain, batching must change
+  // performance only — the same transactions commit and every ledger
+  // verifies. Identical seeds give identical client request streams.
+  SystemParams p1 = Byz(ProtocolFamily::kFlattened, false);
+  p1.batch_size = 1;
+  SystemParams p64 = p1;
+  p64.batch_size = 64;
+  auto r1 = RunWorkload(p1, Mix(CrossKind::kIntraShardCrossEnterprise, 0.0),
+                        300.0);
+  auto r64 = RunWorkload(p64, Mix(CrossKind::kIntraShardCrossEnterprise, 0.0),
+                         300.0);
+  EXPECT_TRUE(r1.sys->VerifyAllLedgers().ok());
+  EXPECT_TRUE(r64.sys->VerifyAllLedgers().ok());
+  ASSERT_GT(r1.commits, 400u);
+  // Allow a handful of in-flight transactions at the window edges.
+  EXPECT_NEAR(static_cast<double>(r1.commits),
+              static_cast<double>(r64.commits),
+              0.03 * static_cast<double>(r1.commits));
+}
+
+TEST(SystemBatching, BatchingRaisesThroughputAtEqualOfferedLoad) {
+  // Past the batch-1 saturation point, larger batches amortize the
+  // consensus round and commit strictly more at the same offered load.
+  SystemParams p1 = Byz(ProtocolFamily::kFlattened, false);
+  p1.batch_size = 1;
+  SystemParams p64 = p1;
+  p64.batch_size = 64;
+  WorkloadParams wl = Mix(CrossKind::kIntraShardCrossEnterprise, 0.0);
+  auto r1 = RunWorkload(p1, wl, 20000.0);
+  auto r64 = RunWorkload(p64, wl, 20000.0);
+  EXPECT_GT(r64.commits, r1.commits * 13 / 10)
+      << "batch=1 commits " << r1.commits << ", batch=64 commits "
+      << r64.commits;
+  // Batch size 1 closes every batch by size; the batched run cuts
+  // timeout-closed blocks of many transactions each.
+  EXPECT_GT(r1.sys->env().metrics.Get("batch.closed_size"), 0u);
+  EXPECT_GT(r64.sys->env().metrics.Get("batch.closed_timeout"), 0u);
+}
+
+TEST(SystemBatching, PipelineDepthOneStillCommitsEverything) {
+  // Fully serialized rounds (depth 1) are slower but must stay correct.
+  SystemParams p = Byz(ProtocolFamily::kFlattened, false);
+  p.pipeline_depth = 1;
+  auto r = RunWorkload(p, Mix(CrossKind::kIntraShardCrossEnterprise, 0.0),
+                       500.0);
+  EXPECT_GT(r.commits, 700u);
+  EXPECT_TRUE(r.sys->VerifyAllLedgers().ok());
+}
+
 TEST(SystemInvariants, ExecutionReplicasAgreeWithFirewall) {
   auto r = RunWorkload(Byz(ProtocolFamily::kFlattened, true),
                        Mix(CrossKind::kIntraShardCrossEnterprise, 0.2),
