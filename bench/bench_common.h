@@ -107,6 +107,18 @@ inline void PrintSubfigureHeader(const std::string& title) {
   std::printf("==== %s ====\n", title.c_str());
 }
 
+/// The standard bench JSON record: one line per measured point, greppable
+/// and machine-parseable next to the human-readable tables.
+inline void PrintJsonPoint(const char* bench, const char* system,
+                           const char* scenario, const LoadPoint& p) {
+  std::printf(
+      "{\"bench\":\"%s\",\"system\":\"%s\",\"scenario\":\"%s\","
+      "\"offered_tps\":%.0f,\"tput_tps\":%.0f,\"avg_lat_ms\":%.2f,"
+      "\"p99_lat_ms\":%.2f}\n",
+      bench, system, scenario, p.offered_tps, p.measured_tps,
+      p.avg_latency_ms, p.p99_latency_ms);
+}
+
 inline void PrintKneeRow(const char* name, const SweepResult& r) {
   std::printf("%-12s knee: %8.0f tps @ %7.2f ms (p99 %7.2f ms)\n", name,
               r.knee.measured_tps, r.knee.avg_latency_ms,

@@ -59,6 +59,12 @@ uint64_t FabricSystem::TotalMeasuredCommits() const {
   return t;
 }
 
+uint64_t FabricSystem::TotalCommitted() const {
+  uint64_t t = 0;
+  for (const auto& c : clients_) t += c->committed();
+  return t;
+}
+
 uint64_t FabricSystem::TotalInvalidated() const {
   uint64_t t = 0;
   for (const auto& c : clients_) t += c->invalidated();
@@ -171,8 +177,48 @@ std::vector<size_t> FabricPeer::ReorderBlock(
   return order;
 }
 
-void FabricPeer::HandleBlock(const OrderedBlockMsg& m) {
+void FabricPeer::HandleBlock(const MessageRef& msg) {
+  const auto& m = *msg->As<OrderedBlockMsg>();
+  // The ordering service semantically delivers a stream: blocks apply in
+  // block-number order exactly once. Duplicates and reorderings injected
+  // by the datagram transport model are absorbed here.
+  if (m.block_no < next_block_ || block_log_.count(m.block_no) ||
+      held_blocks_.count(m.block_no)) {
+    env()->metrics.Inc("fabric.duplicate_block");
+    return;
+  }
+  held_blocks_[m.block_no] =
+      std::static_pointer_cast<const OrderedBlockMsg>(msg);
+  while (true) {
+    auto it = held_blocks_.find(next_block_);
+    if (it == held_blocks_.end()) break;
+    std::shared_ptr<const OrderedBlockMsg> blk = it->second;
+    held_blocks_.erase(it);
+    ++next_block_;
+    ApplyBlock(*blk);
+  }
+}
+
+void FabricPeer::ApplyBlock(const OrderedBlockMsg& m) {
   const auto& txs = *m.txs;
+  // Content digest over the ordered transactions (id + read/write sets):
+  // what all peers must agree on per block number.
+  {
+    Sha256 h;
+    for (const auto& etx : txs) {
+      Sha256Digest d = etx.tx.Digest();
+      h.Update(d.bytes.data(), d.bytes.size());
+      for (const auto& r : etx.read_set) {
+        h.Update(&r.key, sizeof(r.key));
+        h.Update(&r.version, sizeof(r.version));
+      }
+      for (const auto& [k, v] : etx.write_set) {
+        h.Update(&k, sizeof(k));
+        h.Update(&v, sizeof(v));
+      }
+    }
+    block_log_[m.block_no] = h.Finalize();
+  }
   std::vector<size_t> order(txs.size());
   std::vector<bool> early_abort(txs.size(), false);
   if (sys_->config().variant == FabricVariant::kFabricPP) {
@@ -211,6 +257,9 @@ void FabricPeer::HandleBlock(const OrderedBlockMsg& m) {
       for (const auto& [k, v] : etx.write_set) {
         state_[{coll, k}] = {v, m.block_no};
       }
+      if (!committed_ids_.insert({etx.tx.client, etx.tx.client_ts}).second) {
+        env()->metrics.Inc("fabric.safety.double_commit");
+      }
       valid_txs_++;
     } else {
       invalid_txs_++;
@@ -237,7 +286,7 @@ void FabricPeer::OnMessage(NodeId from, const MessageRef& msg) {
       HandleEndorse(from, *msg->As<EndorseReqMsg>());
       break;
     case MsgType::kOrderedBlock:
-      HandleBlock(*msg->As<OrderedBlockMsg>());
+      HandleBlock(msg);
       break;
     default:
       break;
@@ -294,6 +343,11 @@ void FabricOrderer::OnMessage(NodeId from, const MessageRef& msg) {
   switch (msg->type) {
     case MsgType::kOrderSubmit: {
       if (!IsLeader()) return;  // clients submit to the leader
+      const EndorsedTx& etx = msg->As<OrderSubmitMsg>()->etx;
+      if (!seen_submits_.insert({etx.tx.client, etx.tx.client_ts}).second) {
+        env()->metrics.Inc("fabric.duplicate_submit");
+        return;
+      }
       if (sys_->config().variant == FabricVariant::kFabricPP &&
           IsStale(msg->As<OrderSubmitMsg>()->etx)) {
         early_aborted_++;
@@ -434,6 +488,15 @@ void FabricClient::OnMessage(NodeId /*from*/, const MessageRef& msg) {
       auto it = pending_.find(m.client_ts);
       if (it == pending_.end() || it->second.submitted) break;
       PendingTx& p = it->second;
+      // A duplicated response must not double-count an endorser.
+      bool have = false;
+      for (const auto& e : p.etx.endorsements) {
+        if (e.signer == m.sig.signer) {
+          have = true;
+          break;
+        }
+      }
+      if (have) break;
       p.etx.endorsements.push_back(m.sig);
       if (p.etx.read_set.empty() && p.etx.write_set.empty()) {
         p.etx.read_set = m.read_set;

@@ -55,6 +55,7 @@ class FabricSystem {
   ~FabricSystem();
 
   Env& env() { return *env_; }
+  Network& net() { return *net_; }
   const FabricConfig& config() const { return cfg_; }
   const DataModel& model() const { return model_; }
 
@@ -66,8 +67,18 @@ class FabricSystem {
   std::vector<NodeId> peer_ids() const;
 
   uint64_t TotalMeasuredCommits() const;
+  /// Committed transactions over the whole run (not just the window).
+  uint64_t TotalCommitted() const;
   uint64_t TotalInvalidated() const;
   Histogram MergedLatencies() const;
+
+  const std::vector<std::unique_ptr<FabricPeer>>& peers() const {
+    return peers_;
+  }
+  const std::vector<std::unique_ptr<FabricClient>>& clients() const {
+    return clients_;
+  }
+  int orderer_count() const { return static_cast<int>(orderers_.size()); }
 
  private:
   FabricConfig cfg_;
@@ -92,12 +103,25 @@ class FabricPeer : public Actor {
   uint64_t invalid_txs() const { return invalid_txs_; }
   uint64_t hashed_txs() const { return hashed_txs_; }
 
+  /// Content digest of every block this peer applied, by block number —
+  /// the cross-peer agreement surface the chaos auditor checks.
+  const std::map<uint64_t, Sha256Digest>& block_log() const {
+    return block_log_;
+  }
+  /// Next block number this peer will apply (applied prefix is gapless).
+  uint64_t next_block_to_apply() const { return next_block_; }
+
  protected:
   SimTime CostOf(const Message& msg) const override;
 
  private:
   void HandleEndorse(NodeId from, const EndorseReqMsg& m);
-  void HandleBlock(const OrderedBlockMsg& m);
+  /// Admission: the ordering service's stream is consumed in block-number
+  /// order. Duplicates are dropped and out-of-order deliveries (datagram
+  /// transport artifacts under fault injection) are buffered until their
+  /// predecessors arrive.
+  void HandleBlock(const MessageRef& msg);
+  void ApplyBlock(const OrderedBlockMsg& m);
   /// Fabric++ intra-block reordering: returns the validation order and
   /// flags transactions early-aborted on w-w conflicts.
   std::vector<size_t> ReorderBlock(const std::vector<EndorsedTx>& txs,
@@ -109,6 +133,14 @@ class FabricPeer : public Actor {
   // Committed value/version per (collection, key).
   std::map<std::pair<uint16_t, uint64_t>, std::pair<int64_t, uint64_t>>
       state_;
+  // In-order admission of ordered blocks (see HandleBlock).
+  uint64_t next_block_ = 1;
+  std::map<uint64_t, std::shared_ptr<const OrderedBlockMsg>> held_blocks_;
+  std::map<uint64_t, Sha256Digest> block_log_;
+  // Valid-committed transaction ids; a second valid commit of the same id
+  // is a safety violation surfaced via the fabric.safety.double_commit
+  // metric.
+  std::set<std::pair<NodeId, uint64_t>> committed_ids_;
   uint64_t valid_txs_ = 0;
   uint64_t invalid_txs_ = 0;
   uint64_t hashed_txs_ = 0;
@@ -123,6 +155,7 @@ class FabricOrderer : public Actor {
 
   void OnMessage(NodeId from, const MessageRef& msg) override;
   void OnTimer(uint64_t tag, uint64_t payload) override;
+  void OnCrash() override { batcher_.Reset(); }
 
   uint64_t ordered_txs() const { return ordered_txs_; }
   uint64_t early_aborted() const { return early_aborted_; }
@@ -136,6 +169,9 @@ class FabricOrderer : public Actor {
   /// Batcher flush sink: cuts the block and replicates it via Raft.
   void CloseBatch(std::vector<EndorsedTx> txs);
 
+  /// Request dedup on the leader: at-most-once ordering per (client, ts)
+  /// even when the transport duplicates submissions.
+  std::set<std::pair<NodeId, uint64_t>> seen_submits_;
   /// Fabric++ early abort: the orderer tracks the last block that wrote
   /// each key; a submission whose read versions are already stale is
   /// dropped at a fraction of the ordering cost, freeing capacity for

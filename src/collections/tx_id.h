@@ -101,6 +101,22 @@ struct ShardAssignment {
     enc->PutU16(static_cast<uint16_t>(gamma.size()));
     for (const auto& g : gamma) g.EncodeTo(enc);
   }
+  static bool DecodeFrom(Decoder* dec, ShardAssignment* out) {
+    uint32_t c;
+    if (!dec->GetU32(&c)) return false;
+    out->cluster = static_cast<int>(c);
+    if (!LocalPart::DecodeFrom(dec, &out->alpha)) return false;
+    uint16_t ng;
+    if (!dec->GetU16(&ng)) return false;
+    out->gamma.resize(ng);
+    for (auto& g : out->gamma) {
+      if (!GammaEntry::DecodeFrom(dec, &g)) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const ShardAssignment& x, const ShardAssignment& y) {
+    return x.cluster == y.cluster && x.alpha == y.alpha && x.gamma == y.gamma;
+  }
 };
 
 /// The two blockchain-ledger consistency predicates of §3.3. `earlier`

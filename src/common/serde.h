@@ -79,9 +79,23 @@ class Decoder {
     pos_ += n;
     return true;
   }
+  /// Copies exactly n raw bytes; false on underflow.
+  bool GetRaw(void* out, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
 
   size_t remaining() const { return size_ - pos_; }
   bool Done() const { return pos_ == size_; }
+  /// Current read position (for carving bounded sub-decoders).
+  const uint8_t* cursor() const { return data_ + pos_; }
+  bool Skip(size_t n) {
+    if (pos_ + n > size_) return false;
+    pos_ += n;
+    return true;
+  }
 
  private:
   template <typename T>

@@ -91,6 +91,15 @@ class Batcher {
     }
   }
 
+  /// Drops all pending items and timer bookkeeping. For crash modeling:
+  /// a restarted process has no pending batch, and the armed-timer flags
+  /// must not survive into a life whose timers were invalidated — a
+  /// recovered node would otherwise never cut a timeout batch again.
+  void Reset() {
+    flows_.clear();
+    token_to_key_.clear();
+  }
+
   /// Force-closes every non-empty batch (leadership change, shutdown).
   void FlushAll() {
     for (auto& [key, flow] : flows_) {

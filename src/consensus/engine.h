@@ -57,6 +57,12 @@ class InternalConsensus {
   /// Timer callback relayed by the host (tags >= kEngineTimerBase).
   virtual void OnTimer(uint64_t tag, uint64_t payload) = 0;
 
+  /// External suspicion hook: the host observed the primary failing to
+  /// make progress on work it is responsible for (e.g. a relayed client
+  /// request that never showed up in a proposal). PBFT casts a view-change
+  /// vote; Paxos performs a ballot takeover. Default: ignore.
+  virtual void SuspectPrimary() {}
+
   virtual bool IsPrimary() const = 0;
   virtual NodeId PrimaryNode() const = 0;
   virtual ViewNo view() const = 0;
@@ -68,6 +74,10 @@ class InternalConsensus {
 
   /// Number of matching votes that constitutes a local-majority.
   virtual size_t Quorum() const = 0;
+
+  /// Highest slot this node has delivered (consensus progress counter;
+  /// hosts use it to distinguish a dead primary from a parked request).
+  virtual uint64_t LastDelivered() const { return 0; }
 
   /// Slots this node proposed that have not yet committed (primary side;
   /// bounded by ctx_.pipeline_depth when that is non-zero).

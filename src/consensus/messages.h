@@ -17,6 +17,9 @@ struct RequestMsg : Message {
   RequestMsg() : Message(MsgType::kRequest) {}
   Transaction tx;
   bool is_retransmission = false;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, RequestMsg* out);
 };
 
 /// Reply from an executing node to the client machine (crash and
@@ -29,6 +32,9 @@ struct ReplyMsg : Message {
   Sha256Digest result_digest;
   std::vector<std::pair<NodeId, uint64_t>> clients;
   Signature sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, ReplyMsg* out);
 };
 
 /// Reply certificate assembled by the top filter row: g+1 matching signed
@@ -39,6 +45,9 @@ struct ReplyCertMsg : Message {
   Sha256Digest result_digest;
   std::vector<std::pair<NodeId, uint64_t>> clients;
   ReplyCertificate cert;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, ReplyCertMsg* out);
 };
 
 // --------------------------------------------------------- PBFT messages
@@ -50,6 +59,9 @@ struct PrePrepareMsg : Message {
   ConsensusValue value;
   Sha256Digest value_digest;
   Signature sig;  // primary's signature over (view, slot, value_digest)
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PrePrepareMsg* out);
 };
 
 struct PrepareMsg : Message {
@@ -58,6 +70,9 @@ struct PrepareMsg : Message {
   uint64_t slot = 0;
   Sha256Digest value_digest;
   Signature sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PrepareMsg* out);
 };
 
 struct CommitMsg : Message {
@@ -66,6 +81,9 @@ struct CommitMsg : Message {
   uint64_t slot = 0;
   Sha256Digest value_digest;
   Signature sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, CommitMsg* out);
 };
 
 /// Prepared-slot evidence carried in a view change.
@@ -74,6 +92,9 @@ struct PreparedProof {
   ViewNo view = 0;
   ConsensusValue value;
   Sha256Digest value_digest;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PreparedProof* out);
 };
 
 struct ViewChangeMsg : Message {
@@ -82,6 +103,9 @@ struct ViewChangeMsg : Message {
   uint64_t last_delivered = 0;
   std::vector<PreparedProof> prepared;
   Signature sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, ViewChangeMsg* out);
 };
 
 struct NewViewMsg : Message {
@@ -90,6 +114,9 @@ struct NewViewMsg : Message {
   // Slots the new primary re-proposes (prepared in prior views).
   std::vector<PreparedProof> reproposals;
   Signature sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, NewViewMsg* out);
 };
 
 // ---------------------------------------------------- Multi-Paxos (CFT)
@@ -102,6 +129,9 @@ struct PaxosAcceptMsg : Message {
   uint64_t slot = 0;
   ConsensusValue value;
   Sha256Digest value_digest;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PaxosAcceptMsg* out);
 };
 
 struct PaxosAcceptedMsg : Message {
@@ -111,6 +141,9 @@ struct PaxosAcceptedMsg : Message {
   uint64_t ballot = 0;
   uint64_t slot = 0;
   Sha256Digest value_digest;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PaxosAcceptedMsg* out);
 };
 
 struct PaxosLearnMsg : Message {
@@ -118,6 +151,72 @@ struct PaxosLearnMsg : Message {
   uint64_t ballot = 0;
   uint64_t slot = 0;
   Sha256Digest value_digest;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PaxosLearnMsg* out);
+};
+
+/// Phase-1a ballot takeover (classic Paxos prepare): a node claiming
+/// leadership must learn what a quorum has already accepted before it may
+/// re-drive slots — without this, a takeover can overwrite a chosen value.
+struct PaxosPrepareMsg : Message {
+  PaxosPrepareMsg() : Message(MsgType::kPaxosPrepare) { sig_verify_ops = 0; }
+  uint64_t ballot = 0;
+  /// The usurper's delivery frontier: promises report accepted values for
+  /// every slot above it, so the usurper can fill its own gaps too.
+  uint64_t last_delivered = 0;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PaxosPrepareMsg* out);
+};
+
+/// One slot of a promise's accepted history.
+struct PaxosAcceptedSlot {
+  uint64_t slot = 0;
+  uint64_t ballot = 0;  // ballot the value was accepted under
+  ConsensusValue value;
+  Sha256Digest digest;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PaxosAcceptedSlot* out);
+};
+
+/// Phase-1b promise: the follower will never accept a ballot below
+/// `ballot` again, and reports every undelivered value it has accepted.
+struct PaxosPromiseMsg : Message {
+  PaxosPromiseMsg() : Message(MsgType::kPaxosPromise) { sig_verify_ops = 0; }
+  uint64_t ballot = 0;
+  std::vector<PaxosAcceptedSlot> accepted;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, PaxosPromiseMsg* out);
+};
+
+/// Gap catch-up request: a replica whose delivery frontier is stuck —
+/// later slots committed but an earlier one never arrived (its messages
+/// were lost while the node was partitioned, crashed, or unlucky) — asks
+/// a peer for the decided slots in [from_slot, to_slot].
+struct FillRequestMsg : Message {
+  FillRequestMsg() : Message(MsgType::kFillRequest) { sig_verify_ops = 0; }
+  uint64_t from_slot = 0;
+  uint64_t to_slot = 0;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, FillRequestMsg* out);
+};
+
+/// Gap catch-up reply, one per slot: the decided value plus the COMMIT
+/// quorum signatures proving the decision — self-certifying, so a fill
+/// from a single (possibly faulty) peer cannot inject a fake decision.
+struct FillReplyMsg : Message {
+  FillReplyMsg() : Message(MsgType::kFillReply) {}
+  uint64_t slot = 0;
+  ViewNo view = 0;
+  ConsensusValue value;
+  std::vector<Signature> commit_proof;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, FillReplyMsg* out);
 };
 
 // --------------------------- ordering -> firewall -> execution (§4.2)
@@ -131,6 +230,9 @@ struct ExecOrderMsg : Message {
   /// The ⟨α, γ⟩ that applies on the receiving cluster's shard.
   LocalPart alpha_here;
   std::vector<GammaEntry> gamma_here;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, ExecOrderMsg* out);
 };
 
 /// Signed execution reply flowing from execution nodes up through the
@@ -143,6 +245,9 @@ struct ExecReplyMsg : Message {
   // per-client certificates; kept aggregate here: one reply per block.
   std::vector<std::pair<NodeId, uint64_t>> clients;
   Signature sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, ExecReplyMsg* out);
 };
 
 }  // namespace qanaat

@@ -1,25 +1,41 @@
 #include "consensus/paxos.h"
 
+#include <algorithm>
+
 namespace qanaat {
 
 PaxosEngine::PaxosEngine(EngineContext ctx, int f, SimTime base_timeout_us)
     : InternalConsensus(std::move(ctx)),
       f_(f),
-      base_timeout_(base_timeout_us) {}
+      base_timeout_(base_timeout_us) {
+  // Ballot 0 belongs to index 0 with an empty history: it leads from the
+  // start without a phase-1.
+  leading_ = (ctx_.cluster[0] == ctx_.self);
+}
 
 void PaxosEngine::Propose(const ConsensusValue& v) {
   if (!IsPrimary()) {
     ctx_.env->metrics.Inc("paxos.propose_on_follower");
     return;
   }
-  // Pipelining: cap concurrently open slots; excess proposals queue and
-  // start as earlier slots learn.
-  if (AtPipelineCap()) {
+  // Queue while phase-1 is still gathering promises, and past the
+  // pipelining cap; queued proposals start as slots learn.
+  if (!leading_ || AtPipelineCap()) {
     propose_queue_.push_back(v);
     ctx_.env->metrics.Inc("paxos.proposal_queued");
     return;
   }
   StartSlot(v);
+}
+
+void PaxosEngine::BroadcastAccept(uint64_t slot, const SlotState& st) {
+  auto acc = std::make_shared<PaxosAcceptMsg>();
+  acc->ballot = ballot_;
+  acc->slot = slot;
+  acc->value = st.value;
+  acc->value_digest = st.digest;
+  acc->wire_bytes = 64 + st.value.WireSize();
+  ctx_.broadcast(acc);
 }
 
 void PaxosEngine::StartSlot(const ConsensusValue& v) {
@@ -32,13 +48,7 @@ void PaxosEngine::StartSlot(const ConsensusValue& v) {
   st.accepted.insert(ctx_.self);
   my_open_slots_.insert(slot);
 
-  auto acc = std::make_shared<PaxosAcceptMsg>();
-  acc->ballot = ballot_;
-  acc->slot = slot;
-  acc->value = v;
-  acc->value_digest = st.digest;
-  acc->wire_bytes = 64 + v.WireSize();
-  ctx_.broadcast(acc);
+  BroadcastAccept(slot, st);
   ArmSlotTimer(slot);
 
   // f = 0 degenerate case: single-node cluster decides immediately.
@@ -50,12 +60,14 @@ void PaxosEngine::StartSlot(const ConsensusValue& v) {
 
 void PaxosEngine::MarkLearned(uint64_t slot) {
   slots_[slot].learned = true;
+  max_learned_ = std::max(max_learned_, slot);
   my_open_slots_.erase(slot);
   DrainProposeQueue();
 }
 
 void PaxosEngine::DrainProposeQueue() {
-  while (!propose_queue_.empty() && IsPrimary() && !AtPipelineCap()) {
+  while (!propose_queue_.empty() && IsPrimary() && leading_ &&
+         !AtPipelineCap()) {
     ConsensusValue v = std::move(propose_queue_.front());
     propose_queue_.pop_front();
     StartSlot(v);
@@ -72,6 +84,12 @@ void PaxosEngine::OnMessage(NodeId from, const MessageRef& msg) {
       break;
     case MsgType::kPaxosLearn:
       HandleLearn(from, *msg->As<PaxosLearnMsg>());
+      break;
+    case MsgType::kPaxosPrepare:
+      HandlePrepare(from, *msg->As<PaxosPrepareMsg>());
+      break;
+    case MsgType::kPaxosPromise:
+      HandlePromise(from, *msg->As<PaxosPromiseMsg>());
       break;
     default:
       break;
@@ -91,14 +109,38 @@ void PaxosEngine::ObserveBallot(uint64_t b) {
   // Leadership moved past us: queued proposals can only be driven by
   // the new leader (clients retransmit there). Re-proposing them on a
   // later takeover would duplicate already-committed transactions.
-  if (!IsPrimary()) DropProposeQueue();
+  if (!IsPrimary()) {
+    leading_ = false;
+    DropProposeQueue();
+  }
 }
 
 void PaxosEngine::HandleAccept(NodeId from, const PaxosAcceptMsg& m) {
-  if (m.ballot < ballot_) return;  // stale leader
+  if (m.ballot < promised_ || m.ballot < ballot_) return;  // stale leader
+  promised_ = std::max(promised_, m.ballot);
   ObserveBallot(m.ballot);
   if (from != PrimaryNode()) return;
   SlotState& st = slots_[m.slot];
+  if (st.delivered) {
+    // Already applied here, but the (new) leader may be re-driving the
+    // slot to finish its own catch-up: ack the decided value so it can
+    // gather a quorum — silently ignoring it would starve the leader
+    // into an endless takeover loop.
+    if (st.digest == m.value_digest) {
+      auto resp = std::make_shared<PaxosAcceptedMsg>();
+      resp->ballot = m.ballot;
+      resp->slot = m.slot;
+      resp->value_digest = m.value_digest;
+      ctx_.send(from, resp);
+    }
+    return;
+  }
+  if (st.learned && st.digest != m.value_digest) {
+    // A correct post-phase-1 leader can never change a learned value;
+    // surfaced as a metric so the chaos auditor's trace points here.
+    ctx_.env->metrics.Inc("paxos.conflicting_accept_ignored");
+    return;
+  }
   st.ballot = m.ballot;
   st.value = m.value;
   st.digest = m.value_digest;
@@ -109,11 +151,19 @@ void PaxosEngine::HandleAccept(NodeId from, const PaxosAcceptMsg& m) {
   resp->slot = m.slot;
   resp->value_digest = m.value_digest;
   ctx_.send(from, resp);
+  // A LEARN for this slot overtook the ACCEPT (reordered delivery):
+  // consume it now that the value is known.
+  if (st.learn_pending && st.learn_digest == st.digest && !st.learned) {
+    ctx_.env->metrics.Inc("paxos.pending_learn_consumed");
+    MarkLearned(m.slot);
+    DeliverReady();
+    return;
+  }
   ArmSlotTimer(m.slot);
 }
 
 void PaxosEngine::HandleAccepted(NodeId from, const PaxosAcceptedMsg& m) {
-  if (m.ballot != ballot_ || !IsPrimary()) return;
+  if (m.ballot != ballot_ || !IsPrimary() || !leading_) return;
   SlotState& st = slots_[m.slot];
   if (!st.have_value || st.digest != m.value_digest) return;
   st.accepted.insert(from);
@@ -132,9 +182,12 @@ void PaxosEngine::HandleLearn(NodeId from, const PaxosLearnMsg& m) {
   ObserveBallot(m.ballot);
   SlotState& st = slots_[m.slot];
   if (!st.have_value || st.digest != m.value_digest) {
-    // Value not seen yet (reordered delivery) — remember it is decided;
-    // Accept will follow or retransmission recovers it.
+    // Value not seen yet (the LEARN overtook its ACCEPT). Buffer the
+    // decision: HandleAccept consumes it when the value arrives. Dropping
+    // it here would stall this node's delivery sequence forever.
     ctx_.env->metrics.Inc("paxos.learn_before_value");
+    st.learn_pending = true;
+    st.learn_digest = m.value_digest;
     return;
   }
   MarkLearned(m.slot);
@@ -152,6 +205,20 @@ void PaxosEngine::DeliverReady() {
     ++last_delivered_;
     ctx_.deliver(it->first, it->second.value);
   }
+  MaybeArmGapTimer();
+}
+
+void PaxosEngine::MaybeArmGapTimer() {
+  // Stalled iff a learned slot sits beyond the undelivered frontier: the
+  // frontier slot's ACCEPT/LEARN were lost while this node was crashed,
+  // partitioned, or unlucky — and no slot timer exists for a slot we
+  // never heard of. Take over after a timeout: phase-1 promises carry
+  // every accepted value above our frontier, closing the gap.
+  if (gap_timer_armed_ || max_learned_ <= last_delivered_ + 1) return;
+  auto it = slots_.find(last_delivered_ + 1);
+  if (it != slots_.end() && it->second.learned) return;  // will deliver
+  gap_timer_armed_ = true;
+  ctx_.start_timer(base_timeout_, kTagGapTimeout, last_delivered_);
 }
 
 void PaxosEngine::ArmSlotTimer(uint64_t slot) {
@@ -161,46 +228,174 @@ void PaxosEngine::ArmSlotTimer(uint64_t slot) {
   ctx_.start_timer(base_timeout_, kTagSlotTimeout, slot);
 }
 
+void PaxosEngine::SuspectPrimary() {
+  if (IsPrimary()) return;
+  ctx_.env->metrics.Inc("paxos.suspect_takeover");
+  TakeOver();
+}
+
 void PaxosEngine::OnTimer(uint64_t tag, uint64_t payload) {
+  if (tag == kTagTakeoverRetry) {
+    // Phase-1 stalled (promises lost or a quorum unreachable): re-solicit
+    // while the ballot is still ours and unfinished.
+    if (leading_ || ballot_ != payload || !IsPrimary()) return;
+    ctx_.env->metrics.Inc("paxos.takeover_retry");
+    auto prep = std::make_shared<PaxosPrepareMsg>();
+    prep->ballot = ballot_;
+    prep->last_delivered = last_delivered_;
+    ctx_.broadcast(prep);
+    ctx_.start_timer(base_timeout_, kTagTakeoverRetry, ballot_);
+    return;
+  }
+  if (tag == kTagGapTimeout) {
+    gap_timer_armed_ = false;
+    if (last_delivered_ != payload) {
+      MaybeArmGapTimer();  // progressed; keep watching
+      return;
+    }
+    ctx_.env->metrics.Inc("paxos.gap_takeover");
+    TakeOver();
+    return;
+  }
   if (tag != kTagSlotTimeout) return;
   auto it = slots_.find(payload);
   if (it == slots_.end()) return;
   SlotState& st = it->second;
   st.timer_armed = false;
   if (st.learned) return;
+  TakeOver();
+}
 
-  // Leader takeover: bump the ballot until we own it, then re-drive every
-  // unfinished slot with our (possibly inherited) value. Anything still
-  // queued was queued under a leadership that has since timed out —
-  // clients have retransmitted by now, so re-proposing it here could
-  // duplicate transactions an interim leader already committed.
+void PaxosEngine::TakeOver() {
+  // Anything still queued was queued under a leadership that has since
+  // timed out — clients have retransmitted by now, so re-proposing it
+  // here could duplicate transactions an interim leader already
+  // committed.
   DropProposeQueue();
   uint64_t nb = ballot_ + 1;
   while (ctx_.cluster[nb % ClusterSize()] != ctx_.self) ++nb;
   ballot_ = nb;
+  promised_ = std::max(promised_, nb);
+  leading_ = false;
   ctx_.env->metrics.Inc("paxos.leader_takeover");
   if (ctx_.on_view_change) ctx_.on_view_change(ballot_, ctx_.self);
 
+  // Phase-1: gather what a quorum has accepted before driving anything.
+  promises_.clear();
+  gathered_.clear();
+  promises_.insert(ctx_.self);
+  for (const auto& [slot, st] : slots_) {
+    if (st.have_value && slot > last_delivered_) {
+      MergeGathered(slot, st.ballot, st.value, st.digest);
+    }
+  }
+  auto prep = std::make_shared<PaxosPrepareMsg>();
+  prep->ballot = ballot_;
+  prep->last_delivered = last_delivered_;
+  ctx_.broadcast(prep);
+  if (promises_.size() >= Quorum()) {
+    FinishTakeover();  // f = 0 degenerate case
+  } else {
+    ctx_.start_timer(base_timeout_, kTagTakeoverRetry, ballot_);
+  }
+}
+
+void PaxosEngine::MergeGathered(uint64_t slot, uint64_t ballot,
+                                const ConsensusValue& v,
+                                const Sha256Digest& digest) {
+  auto it = gathered_.find(slot);
+  if (it != gathered_.end() && it->second.ballot >= ballot) return;
+  PaxosAcceptedSlot a;
+  a.slot = slot;
+  a.ballot = ballot;
+  a.value = v;
+  a.digest = digest;
+  gathered_[slot] = std::move(a);
+}
+
+void PaxosEngine::HandlePrepare(NodeId from, const PaxosPrepareMsg& m) {
+  if (m.ballot < promised_) return;  // already promised someone newer
+  promised_ = m.ballot;
+  ObserveBallot(m.ballot);
+  auto pr = std::make_shared<PaxosPromiseMsg>();
+  pr->ballot = m.ballot;
+  uint32_t bytes = 32;
+  for (const auto& [slot, st] : slots_) {
+    if (!st.have_value || slot <= m.last_delivered) continue;
+    PaxosAcceptedSlot a;
+    a.slot = slot;
+    a.ballot = st.ballot;
+    a.value = st.value;
+    a.digest = st.digest;
+    bytes += 48 + st.value.WireSize();
+    pr->accepted.push_back(std::move(a));
+  }
+  pr->wire_bytes = bytes;
+  ctx_.send(from, pr);
+}
+
+void PaxosEngine::HandlePromise(NodeId from, const PaxosPromiseMsg& m) {
+  if (m.ballot != ballot_ || leading_ || !IsPrimary()) return;
+  for (const auto& a : m.accepted) {
+    if (a.slot > last_delivered_) {
+      MergeGathered(a.slot, a.ballot, a.value, a.digest);
+    }
+  }
+  promises_.insert(from);
+  if (promises_.size() >= Quorum()) FinishTakeover();
+}
+
+void PaxosEngine::FinishTakeover() {
+  leading_ = true;
+  ctx_.env->metrics.Inc("paxos.takeover_complete");
   uint64_t max_slot = last_delivered_;
-  for (auto& [s, ss] : slots_) max_slot = std::max(max_slot, s);
+  for (const auto& [slot, st] : slots_) max_slot = std::max(max_slot, slot);
+  for (const auto& [slot, a] : gathered_) max_slot = std::max(max_slot, slot);
   next_slot_ = std::max(next_slot_, max_slot + 1);
 
   my_open_slots_.clear();
-  for (auto& [s, ss] : slots_) {
-    if (ss.delivered || ss.learned || !ss.have_value) continue;
-    ss.ballot = ballot_;
-    ss.accepted.clear();
-    ss.accepted.insert(ctx_.self);
-    my_open_slots_.insert(s);
-    auto acc = std::make_shared<PaxosAcceptMsg>();
-    acc->ballot = ballot_;
-    acc->slot = s;
-    acc->value = ss.value;
-    acc->value_digest = ss.digest;
-    acc->wire_bytes = 64 + ss.value.WireSize();
-    ctx_.broadcast(acc);
-    ArmSlotTimer(s);
+  for (uint64_t slot = last_delivered_ + 1; slot < next_slot_; ++slot) {
+    SlotState& st = slots_[slot];
+    if (st.delivered) continue;
+    auto g = gathered_.find(slot);
+    if (g != gathered_.end()) {
+      // Quorum intersection: any chosen value appears in some promise —
+      // adopt the highest-ballot one; re-driving it is idempotent.
+      if (!st.learned) {
+        st.value = g->second.value;
+        st.digest = g->second.digest;
+        st.have_value = true;
+      }
+    } else if (!st.have_value) {
+      // Never accepted anywhere reachable: fill with a no-op so delivery
+      // can progress past the hole.
+      st.value = ConsensusValue{};
+      st.digest = st.value.Digest();
+      st.have_value = true;
+      ctx_.env->metrics.Inc("paxos.noop_filled");
+    }
+    st.ballot = ballot_;
+    if (st.learned) {
+      // Already decided: refresh stragglers (a follower that missed the
+      // original ACCEPT/LEARN — e.g. one recovering from a crash — fills
+      // its gap from this).
+      BroadcastAccept(slot, st);
+      auto learn = std::make_shared<PaxosLearnMsg>();
+      learn->ballot = ballot_;
+      learn->slot = slot;
+      learn->value_digest = st.digest;
+      ctx_.broadcast(learn);
+      continue;
+    }
+    st.accepted.clear();
+    st.accepted.insert(ctx_.self);
+    my_open_slots_.insert(slot);
+    BroadcastAccept(slot, st);
+    st.timer_armed = false;
+    ArmSlotTimer(slot);
   }
+  DeliverReady();
+  DrainProposeQueue();
 }
 
 }  // namespace qanaat

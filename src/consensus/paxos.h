@@ -16,9 +16,16 @@ namespace qanaat {
 ///
 /// Steady state (leader elected): ACCEPT (leader) → ACCEPTED (followers)
 /// → LEARN (leader, after f+1 including itself). Leader failure is
-/// handled by ballot takeover: the next node (ballot mod n) assumes
-/// leadership after a timeout and re-drives unfinished slots. Messages
-/// are MAC-authenticated (no signature verification cost).
+/// handled by ballot takeover with a full phase-1: the usurper broadcasts
+/// PREPARE, collects promises from a quorum — each carrying the accepted
+/// values above the usurper's delivery frontier — adopts the
+/// highest-ballot value per slot, fills never-accepted holes with no-ops,
+/// and re-drives. The quorum-intersection argument of single-decree Paxos
+/// then guarantees a chosen value is never overwritten; skipping phase-1
+/// (as a naive "bump the ballot and re-send" takeover does) lets two
+/// replicas learn different values for one slot — a divergence the chaos
+/// harness reproduces deterministically. Messages are MAC-authenticated
+/// (no signature verification cost).
 ///
 /// Pipelining: the leader keeps up to `ctx.pipeline_depth` slots in
 /// flight (accepted but not yet learned); excess proposals queue inside
@@ -31,6 +38,7 @@ class PaxosEngine : public InternalConsensus {
   void Propose(const ConsensusValue& v) override;
   void OnMessage(NodeId from, const MessageRef& msg) override;
   void OnTimer(uint64_t tag, uint64_t payload) override;
+  void SuspectPrimary() override;
 
   bool IsPrimary() const override {
     return ctx_.cluster[ballot_ % ClusterSize()] == ctx_.self;
@@ -45,8 +53,11 @@ class PaxosEngine : public InternalConsensus {
   std::vector<Signature> CommitProof(uint64_t) const override { return {}; }
 
   uint64_t last_delivered() const { return last_delivered_; }
+  uint64_t LastDelivered() const override { return last_delivered_; }
   size_t InFlight() const override { return my_open_slots_.size(); }
   size_t QueuedProposals() const override { return propose_queue_.size(); }
+  /// Phase-1 complete for the current ballot (we may drive slots).
+  bool leading() const { return leading_; }
 
  private:
   struct SlotState {
@@ -55,18 +66,31 @@ class PaxosEngine : public InternalConsensus {
     Sha256Digest digest;
     bool have_value = false;
     std::set<NodeId> accepted;
+    // A LEARN that overtook its ACCEPT (reordered delivery): remembered
+    // here and consumed when the value arrives, instead of being lost.
+    bool learn_pending = false;
+    Sha256Digest learn_digest;
     bool learned = false;
     bool delivered = false;
     bool timer_armed = false;
   };
 
   static constexpr uint64_t kTagSlotTimeout = kEngineTimerBase + 11;
+  /// Re-broadcast PREPARE while phase-1 has not gathered a quorum.
+  static constexpr uint64_t kTagTakeoverRetry = kEngineTimerBase + 12;
+  /// Frontier stuck while later slots learned: the missing slot's
+  /// messages are gone (nothing retransmits them), so take over — the
+  /// phase-1 promises carry every accepted value above our frontier.
+  static constexpr uint64_t kTagGapTimeout = kEngineTimerBase + 13;
 
   void HandleAccept(NodeId from, const PaxosAcceptMsg& m);
   void HandleAccepted(NodeId from, const PaxosAcceptedMsg& m);
   void HandleLearn(NodeId from, const PaxosLearnMsg& m);
+  void HandlePrepare(NodeId from, const PaxosPrepareMsg& m);
+  void HandlePromise(NodeId from, const PaxosPromiseMsg& m);
   void DeliverReady();
   void ArmSlotTimer(uint64_t slot);
+  void MaybeArmGapTimer();
   bool AtPipelineCap() const {
     return ctx_.pipeline_depth > 0 &&
            my_open_slots_.size() >= ctx_.pipeline_depth;
@@ -74,17 +98,35 @@ class PaxosEngine : public InternalConsensus {
   void StartSlot(const ConsensusValue& v);
   void MarkLearned(uint64_t slot);
   void DrainProposeQueue();
-  /// Adopts a higher observed ballot; drops the propose queue when that
-  /// moves leadership away from this node.
+  /// Ballot takeover phase-1: claim a ballot we own and solicit promises.
+  void TakeOver();
+  /// Phase-1 quorum reached: adopt gathered values, fill holes with
+  /// no-ops, re-drive everything undelivered.
+  void FinishTakeover();
+  void MergeGathered(uint64_t slot, uint64_t ballot, const ConsensusValue& v,
+                     const Sha256Digest& digest);
+  void BroadcastAccept(uint64_t slot, const SlotState& st);
+  /// Adopts a higher observed ballot; drops leadership and the propose
+  /// queue when that moves leadership away from this node.
   void ObserveBallot(uint64_t b);
   void DropProposeQueue();
 
   int f_;
   SimTime base_timeout_;
   uint64_t ballot_ = 0;
+  /// Highest ballot promised: never accept or promise below it.
+  uint64_t promised_ = 0;
+  /// Phase-1 complete for ballot_ with us as leader. The initial leader
+  /// (index 0, ballot 0) starts leading: there is no history to gather.
+  bool leading_ = false;
   uint64_t next_slot_ = 1;
   uint64_t last_delivered_ = 0;
+  uint64_t max_learned_ = 0;
+  bool gap_timer_armed_ = false;
   std::map<uint64_t, SlotState> slots_;
+  // Phase-1 state for ballot_ (valid while !leading_ and we own ballot_).
+  std::set<NodeId> promises_;
+  std::map<uint64_t, PaxosAcceptedSlot> gathered_;
   // Pipelining: slots we drove that are not learned yet, and proposals
   // queued behind the pipeline-depth cap.
   std::set<uint64_t> my_open_slots_;

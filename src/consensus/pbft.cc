@@ -105,7 +105,41 @@ void PbftEngine::ArmSlotTimer(uint64_t slot) {
   ctx_.start_timer(t, kTagSlotTimeout, slot);
 }
 
+void PbftEngine::SuspectPrimary() {
+  if (IsPrimary()) return;
+  StartViewChange(view_ + 1, /*lone_suspicion=*/true);
+}
+
 void PbftEngine::OnTimer(uint64_t tag, uint64_t payload) {
+  if (tag == kTagGapFill) {
+    gap_timer_armed_ = false;
+    if (last_delivered_ > payload) {
+      MaybeRequestFill();  // progressed on its own; recheck later
+      return;
+    }
+    if (max_committed_ <= last_delivered_) return;
+    ctx_.env->metrics.Inc("pbft.fill_requested");
+    auto req = std::make_shared<FillRequestMsg>();
+    req->from_slot = last_delivered_ + 1;
+    req->to_slot = std::min(max_committed_, last_delivered_ + 16);
+    NodeId peer = ctx_.self;
+    for (int i = 0; i < static_cast<int>(ClusterSize()) && peer == ctx_.self;
+         ++i) {
+      peer = ctx_.cluster[(ctx_.self_index + 1 + fill_rr_++) % ClusterSize()];
+    }
+    if (peer != ctx_.self) ctx_.send(peer, req);
+    MaybeRequestFill();  // re-arm until the gap closes
+    return;
+  }
+  if (tag == kTagVcTimeout) {
+    // The view change we voted for (payload) never installed — votes or
+    // the NEW-VIEW were lost. Escalate to the next view; the exponential
+    // backoff in StartViewChange's timer keeps escalation bounded.
+    if (view_ >= payload || !in_view_change_) return;
+    ctx_.env->metrics.Inc("pbft.view_change_escalated");
+    StartViewChange(payload + 1, /*lone_suspicion=*/false);
+    return;
+  }
   if (tag != kTagSlotTimeout) return;
   auto it = slots_.find(payload);
   if (it == slots_.end()) return;
@@ -126,6 +160,11 @@ void PbftEngine::StartViewChange(ViewNo target, bool lone_suspicion) {
   view_change_voted_.insert(target);
   if (!lone_suspicion) in_view_change_ = true;
   ctx_.env->metrics.Inc("pbft.view_change_started");
+  // Watchdog for this target: one per target per node (the voted-set
+  // guard above makes re-arming impossible).
+  ctx_.start_timer(
+      base_timeout_ << std::min<uint64_t>(view_change_count_ + 1, 6),
+      kTagVcTimeout, target);
   auto vc = std::make_shared<ViewChangeMsg>();
   vc->new_view = target;
   vc->last_delivered = last_delivered_;
@@ -184,6 +223,12 @@ void PbftEngine::OnMessage(NodeId from, const MessageRef& msg) {
     case MsgType::kNewView:
       HandleNewView(from, *msg->As<NewViewMsg>());
       break;
+    case MsgType::kFillRequest:
+      HandleFillRequest(from, *msg->As<FillRequestMsg>());
+      break;
+    case MsgType::kFillReply:
+      HandleFillReply(from, *msg->As<FillReplyMsg>());
+      break;
     default:
       break;
   }
@@ -199,6 +244,7 @@ void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
     return;
   }
   SlotState& st = slots_[m.slot];
+  if (st.delivered) return;  // already decided and applied here
   if (st.have_preprepare && st.digest != m.value_digest) {
     // Conflicting pre-prepare from the primary: equivocation evidence.
     ctx_.env->metrics.Inc("pbft.equivocation_detected");
@@ -282,6 +328,7 @@ void PbftEngine::MaybeCommitted(uint64_t slot) {
   if (st.committed || !st.prepared) return;
   if (st.commits.size() < Quorum()) return;
   st.committed = true;
+  max_committed_ = std::max(max_committed_, slot);
   my_open_slots_.erase(slot);
   DeliverReady();
   DrainProposeQueue();
@@ -298,6 +345,71 @@ void PbftEngine::DeliverReady() {
     ++last_delivered_;
     ctx_.deliver(it->first, it->second.value);
   }
+  MaybeRequestFill();
+}
+
+void PbftEngine::MaybeRequestFill() {
+  // Stalled iff some slot committed locally beyond an undelivered
+  // frontier — the frontier slot's messages are gone for good (nothing
+  // in PBFT retransmits them), so fetch the decisions from a peer.
+  if (gap_timer_armed_ || max_committed_ <= last_delivered_) return;
+  gap_timer_armed_ = true;
+  ctx_.start_timer(base_timeout_ / 2, kTagGapFill, last_delivered_);
+}
+
+void PbftEngine::HandleFillRequest(NodeId from, const FillRequestMsg& m) {
+  uint64_t to = std::min(m.to_slot, m.from_slot + 16);
+  for (uint64_t slot = m.from_slot; slot <= to; ++slot) {
+    auto it = slots_.find(slot);
+    if (it == slots_.end() || !it->second.committed) continue;
+    const SlotState& st = it->second;
+    auto fr = std::make_shared<FillReplyMsg>();
+    fr->slot = slot;
+    fr->view = st.view;
+    fr->value = st.value;
+    for (const auto& [node, sig] : st.commits) {
+      fr->commit_proof.push_back(sig);
+    }
+    fr->wire_bytes = 96 + st.value.WireSize() +
+                     static_cast<uint32_t>(fr->commit_proof.size()) * 20;
+    fr->sig_verify_ops = static_cast<uint16_t>(fr->commit_proof.size());
+    ctx_.send(from, fr);
+  }
+}
+
+void PbftEngine::HandleFillReply(NodeId from, const FillReplyMsg& m) {
+  (void)from;
+  if (m.slot <= last_delivered_) return;
+  SlotState& st = slots_[m.slot];
+  if (st.committed || st.delivered) return;
+  // Self-certifying: the commit-quorum signatures prove the decision, so
+  // a single faulty peer cannot inject a fake one.
+  Sha256Digest covered =
+      SignableDigest(m.view, m.slot, m.value.Digest());
+  std::set<NodeId> distinct;
+  for (const auto& sig : m.commit_proof) {
+    if (!ctx_.env->keystore.Verify(sig, covered)) {
+      ctx_.env->metrics.Inc("pbft.bad_fill_proof");
+      return;
+    }
+    distinct.insert(sig.signer);
+  }
+  if (distinct.size() < Quorum()) {
+    ctx_.env->metrics.Inc("pbft.short_fill_proof");
+    return;
+  }
+  ctx_.env->metrics.Inc("pbft.slot_filled");
+  st.view = m.view;
+  st.value = m.value;
+  st.digest = m.value.Digest();
+  st.have_preprepare = true;
+  st.prepared = true;
+  st.committed = true;
+  for (const auto& sig : m.commit_proof) st.commits[sig.signer] = sig;
+  max_committed_ = std::max(max_committed_, m.slot);
+  my_open_slots_.erase(m.slot);
+  DeliverReady();
+  DrainProposeQueue();
 }
 
 std::vector<Signature> PbftEngine::CommitProof(uint64_t slot) const {
@@ -327,6 +439,10 @@ void PbftEngine::HandleViewChange(NodeId from, const ViewChangeMsg& m) {
   NodeId new_primary = ctx_.cluster[m.new_view % ClusterSize()];
   if (new_primary != ctx_.self) return;
   if (votes.size() < Quorum()) return;
+  // Exactly one NEW-VIEW per target: a vote arriving after the quorum
+  // must not rebuild the message with a larger reproposal set — replicas
+  // would re-install the view and reset slots already in flight.
+  if (!new_view_sent_.insert(m.new_view).second) return;
 
   auto nv = std::make_shared<NewViewMsg>();
   nv->new_view = m.new_view;
@@ -350,6 +466,9 @@ void PbftEngine::HandleViewChange(NodeId from, const ViewChangeMsg& m) {
 
 void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
   if (m.new_view < view_) return;
+  // Process each view's NEW-VIEW at most once (duplicated deliveries
+  // under fault injection would otherwise reset in-flight slots).
+  if (m.new_view <= last_new_view_processed_) return;
   NodeId expected_primary = ctx_.cluster[m.new_view % ClusterSize()];
   if (from != expected_primary) return;
   if (!ctx_.env->keystore.Verify(
@@ -358,6 +477,7 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
     return;
   }
   view_ = m.new_view;
+  last_new_view_processed_ = m.new_view;
   in_view_change_ = false;
   ++view_change_count_;
   ctx_.env->metrics.Inc("pbft.view_installed");
@@ -381,7 +501,14 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
   }
 
   if (ctx_.self == expected_primary) {
+    // Slots delivered anywhere in the quorum are decided; never overwrite
+    // them with no-ops — fetch them via the fill protocol instead.
+    uint64_t quorum_delivered = last_delivered_;
+    for (const auto& [node, vc] : view_changes_rcvd_[m.new_view]) {
+      quorum_delivered = std::max(quorum_delivered, vc->last_delivered);
+    }
     next_slot_ = std::max(next_slot_, max_slot + 1);
+    next_slot_ = std::max(next_slot_, quorum_delivered + 1);
     std::set<uint64_t> reproposed;
     for (const auto& p : m.reproposals) {
       if (p.slot <= last_delivered_) continue;
@@ -402,7 +529,8 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
     for (uint64_t slot = last_delivered_ + 1; slot < next_slot_; ++slot) {
       if (reproposed.count(slot)) continue;
       SlotState& st = slots_[slot];
-      if (st.delivered) continue;
+      if (st.delivered || st.committed) continue;
+      if (slot <= quorum_delivered) continue;  // decided elsewhere: fill
       st.view = view_;
       st.value = ConsensusValue{};
       st.digest = st.value.Digest();

@@ -38,6 +38,7 @@ class PbftEngine : public InternalConsensus {
   void Propose(const ConsensusValue& v) override;
   void OnMessage(NodeId from, const MessageRef& msg) override;
   void OnTimer(uint64_t tag, uint64_t payload) override;
+  void SuspectPrimary() override;
 
   bool IsPrimary() const override {
     return ctx_.cluster[view_ % ClusterSize()] == ctx_.self;
@@ -50,6 +51,7 @@ class PbftEngine : public InternalConsensus {
   std::vector<Signature> CommitProof(uint64_t slot) const override;
 
   uint64_t last_delivered() const { return last_delivered_; }
+  uint64_t LastDelivered() const override { return last_delivered_; }
   uint64_t view_changes() const { return view_change_count_; }
   size_t InFlight() const override { return my_open_slots_.size(); }
   size_t QueuedProposals() const override { return propose_queue_.size(); }
@@ -74,12 +76,27 @@ class PbftEngine : public InternalConsensus {
   };
 
   static constexpr uint64_t kTagSlotTimeout = kEngineTimerBase + 1;
+  /// Escalation: if a view change toward `payload` has not installed by
+  /// the time this fires, vote for the next view — without it, lost
+  /// VIEW-CHANGE votes wedge the cluster forever.
+  static constexpr uint64_t kTagVcTimeout = kEngineTimerBase + 2;
+  /// Gap catch-up: the delivery frontier is stuck while later slots have
+  /// committed; ask a peer to retransmit the decided slots.
+  static constexpr uint64_t kTagGapFill = kEngineTimerBase + 3;
 
   void HandlePrePrepare(NodeId from, const PrePrepareMsg& m);
   void HandlePrepare(NodeId from, const PrepareMsg& m);
   void HandleCommit(NodeId from, const CommitMsg& m);
   void HandleViewChange(NodeId from, const ViewChangeMsg& m);
   void HandleNewView(NodeId from, const NewViewMsg& m);
+  void HandleFillRequest(NodeId from, const FillRequestMsg& m);
+  void HandleFillReply(NodeId from, const FillReplyMsg& m);
+  /// Arms the gap timer when a committed slot sits beyond a stuck
+  /// delivery frontier (the missing slot's messages were lost — e.g.
+  /// while this node was crashed or partitioned). PBFT retransmits
+  /// nothing by itself, so without the fill protocol this node would
+  /// stall forever and permanently shrink the live quorum.
+  void MaybeRequestFill();
 
   void MaybePrepared(uint64_t slot);
   void MaybeCommitted(uint64_t slot);
@@ -102,6 +119,9 @@ class PbftEngine : public InternalConsensus {
   ViewNo view_ = 0;
   uint64_t next_slot_ = 1;       // primary's next proposal slot
   uint64_t last_delivered_ = 0;
+  uint64_t max_committed_ = 0;   // highest locally committed slot
+  bool gap_timer_armed_ = false;
+  int fill_rr_ = 0;              // round-robin peer cursor for fills
   uint64_t view_change_count_ = 0;
   bool in_view_change_ = false;
   bool equivocate_ = false;
@@ -114,6 +134,14 @@ class PbftEngine : public InternalConsensus {
   std::map<ViewNo, std::map<NodeId, std::shared_ptr<const ViewChangeMsg>>>
       view_changes_rcvd_;
   std::set<ViewNo> view_change_voted_;
+  // New-primary side: targets we already built and broadcast a NEW-VIEW
+  // for (one per target — extra votes beyond the quorum must not rebuild
+  // it with a different reproposal set).
+  std::set<ViewNo> new_view_sent_;
+  // Replica side: highest NEW-VIEW actually processed; re-deliveries of
+  // the same view (duplicated or rebuilt) are ignored instead of
+  // resetting in-flight slots again.
+  ViewNo last_new_view_processed_ = 0;
   // Messages for views we have not installed yet (a NEW-VIEW and the new
   // primary's first pre-prepares can arrive reordered); replayed after
   // the view installs.

@@ -67,6 +67,12 @@ struct ConsensusValue {
     v.block_digest = digest;
     return v;
   }
+
+  /// Canonical wire form (consensus/messages.cc). The block travels by
+  /// value; DecodeFrom re-seals it and rejects a body whose digest does
+  /// not match the carried block_digest.
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, ConsensusValue* out);
 };
 
 }  // namespace qanaat

@@ -1,0 +1,384 @@
+#include "harness/chaos.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace qanaat {
+
+const char* ChaosStackName(ChaosStack s) {
+  switch (s) {
+    case ChaosStack::kQanaatPbft:
+      return "qanaat-pbft";
+    case ChaosStack::kQanaatPaxos:
+      return "qanaat-paxos";
+    case ChaosStack::kFabric:
+      return "fabric";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Every ledger of the deployment with the node that owns it.
+std::vector<std::pair<NodeId, const DagLedger*>> AllLedgers(
+    QanaatSystem& sys) {
+  std::vector<std::pair<NodeId, const DagLedger*>> out;
+  for (int c = 0; c < sys.cluster_count(); ++c) {
+    const ClusterConfig& cc = sys.directory().Cluster(c);
+    for (size_t i = 0; i < cc.ordering.size(); ++i) {
+      out.emplace_back(cc.ordering[i],
+                       &sys.ordering_node(c, static_cast<int>(i))
+                            ->exec_core()
+                            .ledger());
+    }
+    for (size_t i = 0; i < cc.execution.size(); ++i) {
+      out.emplace_back(cc.execution[i],
+                       &sys.execution_node(c, static_cast<int>(i))
+                            ->core()
+                            .ledger());
+    }
+  }
+  return out;
+}
+
+std::string NodeLabel(NodeId n) { return "node " + std::to_string(n); }
+
+}  // namespace
+
+Status SafetyAuditor::AuditLinkContainment(const Network& net) {
+  for (const auto& [from, to] : net.delivered_links()) {
+    if (!net.LinkAllowed(from, to)) {
+      return Status::Internal("firewall containment violated: message "
+                              "delivered on restricted link " +
+                              std::to_string(from) + " -> " +
+                              std::to_string(to));
+    }
+  }
+  return Status::Ok();
+}
+
+Status SafetyAuditor::AuditQanaat(QanaatSystem& sys, bool full,
+                                  const std::set<NodeId>* converged_except) {
+  auto ledgers = AllLedgers(sys);
+
+  // 1. Chain agreement: at every (collection shard, height) all replicas
+  // — within a cluster and across clusters sharing the chain — hold the
+  // same block under the same ⟨α, γ⟩.
+  std::map<std::pair<ShardRef, size_t>, std::pair<Sha256Digest, NodeId>>
+      canon;
+  for (const auto& [node, led] : ledgers) {
+    for (const auto& [ref, chain] : led->chains()) {
+      for (size_t i = 0; i < chain.size(); ++i) {
+        const DagLedger::Entry& e = led->entry(chain[i]);
+        Sha256Digest d = e.block->Digest();
+        auto [it, inserted] =
+            canon.emplace(std::make_pair(ref, i), std::make_pair(d, node));
+        if (!inserted && !(it->second.first == d)) {
+          return Status::Internal(
+              "chain disagreement on " + ref.Label() + " height " +
+              std::to_string(i + 1) + ": " + NodeLabel(node) + " vs " +
+              NodeLabel(it->second.second));
+        }
+      }
+    }
+  }
+
+  // 2. At-most-once commit per ledger.
+  for (const auto& [node, led] : ledgers) {
+    std::set<std::pair<NodeId, uint64_t>> seen;
+    for (size_t i = 0; i < led->size(); ++i) {
+      for (const Transaction& tx : led->entry(i).block->txs) {
+        if (!seen.insert({tx.client, tx.client_ts}).second) {
+          return Status::Internal(
+              "transaction committed twice on " + NodeLabel(node) +
+              ": client " + std::to_string(tx.client) + " ts " +
+              std::to_string(tx.client_ts));
+        }
+      }
+    }
+  }
+
+  // 3. Full audit: hash chains, γ monotonicity, certificates, wiring.
+  if (full) {
+    for (const auto& [node, led] : ledgers) {
+      Status st = led->VerifyChain(sys.env().keystore, 0);
+      if (!st.ok()) {
+        return Status::Internal("ledger audit failed on " + NodeLabel(node) +
+                                ": " + st.ToString());
+      }
+    }
+    QANAAT_RETURN_IF_ERROR(AuditLinkContainment(sys.net()));
+  }
+
+  // 4. Convergence: every non-degraded executing replica of a chain ends
+  // with the same head (digest equality along the way is implied by 1).
+  if (converged_except != nullptr) {
+    // Expected maintainers of ShardRef{coll, s}: the executing replicas
+    // (execution nodes when separated, ordering nodes otherwise) of
+    // cluster (e, s) for every member enterprise e.
+    std::map<NodeId, const DagLedger*> by_node(ledgers.begin(),
+                                               ledgers.end());
+    std::set<ShardRef> all_chains;
+    for (const auto& [node, led] : ledgers) {
+      for (const auto& [ref, chain] : led->chains()) all_chains.insert(ref);
+    }
+    for (const ShardRef& ref : all_chains) {
+      size_t expect = 0;
+      bool have_expect = false;
+      NodeId expect_node = kInvalidNode;
+      for (EnterpriseId e : ref.collection.members.Members()) {
+        int c = sys.directory().ClusterIdOf(e, ref.shard);
+        const ClusterConfig& cc = sys.directory().Cluster(c);
+        const std::vector<NodeId>& executing =
+            cc.SeparatedExecution() ? cc.execution : cc.ordering;
+        for (NodeId n : executing) {
+          if (converged_except->count(n)) continue;
+          size_t len = by_node.at(n)->ChainOf(ref).size();
+          if (!have_expect) {
+            expect = len;
+            have_expect = true;
+            expect_node = n;
+          } else if (len != expect) {
+            return Status::Internal(
+                "post-heal divergence on " + ref.Label() + ": " +
+                NodeLabel(n) + " has " + std::to_string(len) + " blocks, " +
+                NodeLabel(expect_node) + " has " + std::to_string(expect));
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status SafetyAuditor::AuditFabric(FabricSystem& sys) {
+  // Cross-peer agreement on every shared block number.
+  std::map<uint64_t, std::pair<Sha256Digest, EnterpriseId>> canon;
+  EnterpriseId e = 0;
+  for (const auto& peer : sys.peers()) {
+    // The applied prefix must be gapless: in-order admission guarantees
+    // block_log covers exactly [1, next_block).
+    if (peer->block_log().size() != peer->next_block_to_apply() - 1) {
+      return Status::Internal("peer " + std::to_string(e) +
+                              " applied a gapped block sequence");
+    }
+    for (const auto& [no, digest] : peer->block_log()) {
+      auto [it, inserted] = canon.emplace(no, std::make_pair(digest, e));
+      if (!inserted && !(it->second.first == digest)) {
+        return Status::Internal(
+            "fabric peers disagree on block " + std::to_string(no) +
+            ": enterprise " + std::to_string(e) + " vs " +
+            std::to_string(it->second.second));
+      }
+    }
+    ++e;
+  }
+  if (sys.env().metrics.Get("fabric.safety.double_commit") != 0) {
+    return Status::Internal("a transaction id validated twice");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
+  QanaatSystem::Options so;
+  so.params.num_enterprises = opts.enterprises;
+  so.params.shards_per_enterprise = opts.shards_per_enterprise;
+  so.params.failure_model = opts.stack == ChaosStack::kQanaatPbft
+                                ? FailureModel::kByzantine
+                                : FailureModel::kCrash;
+  so.params.family = opts.family;
+  so.params.use_firewall =
+      opts.use_firewall && opts.stack == ChaosStack::kQanaatPbft;
+  so.seed = opts.seed;
+  const bool firewalled = so.params.use_firewall;
+  QanaatSystem sys(std::move(so));
+  sys.net().set_record_delivered_links(true);
+  if (opts.byzantine_executor && firewalled) {
+    for (int c = 0; c < sys.cluster_count(); ++c) {
+      const ClusterConfig& cc = sys.directory().Cluster(c);
+      if (cc.execution.empty()) continue;
+      ExecutionNode* bad =
+          sys.execution_node(c, static_cast<int>(cc.execution.size()) - 1);
+      bad->SetByzantine(true);
+      bad->SetCorruptReplies(true);
+    }
+  }
+
+  WorkloadParams wl;
+  wl.cross_kind = opts.cross_kind;
+  wl.cross_fraction = opts.cross_fraction;
+  double per_client = opts.offered_tps / opts.client_machines;
+  for (int i = 0; i < opts.client_machines; ++i) {
+    ClientMachine* c = sys.AddClient(wl, per_client);
+    if (opts.client_retransmit_us > 0) {
+      c->SetRetransmitTimeout(opts.client_retransmit_us);
+    }
+    c->Start(0, opts.issue_until, 0, opts.run_until);
+  }
+
+  // Fault groups: each cluster tolerates f chaos victims among its
+  // non-initial-primary ordering nodes. Primaries are exempt so the
+  // corpus stays livelock-free by construction (primary-failure handling
+  // has its own targeted tests).
+  std::vector<CrashGroup> groups;
+  for (int c = 0; c < sys.cluster_count(); ++c) {
+    const ClusterConfig& cc = sys.directory().Cluster(c);
+    CrashGroup g;
+    g.crashable.assign(cc.ordering.begin() + 1, cc.ordering.end());
+    g.max_faulty = sys.directory().params.f;
+    groups.push_back(std::move(g));
+  }
+  FaultPlan plan =
+      MakeRandomPlan(opts.seed, groups, opts.heal_at, opts.profile);
+
+  ChaosReport rep;
+  rep.plan_summary = plan.Summary();
+  std::set<NodeId> degraded;
+  for (NodeId n : plan.DegradedNodes()) degraded.insert(n);
+
+  FaultInjector injector(&sys.env(), &sys.net());
+  injector.Install(std::move(plan));
+
+  Status first = Status::Ok();
+  std::function<void()> audit = [&]() {
+    ++rep.audits;
+    if (first.ok()) {
+      first = SafetyAuditor::AuditQanaat(sys, /*full=*/false, nullptr);
+    }
+    if (sys.env().sim.now() + opts.audit_period < opts.run_until) {
+      sys.env().sim.Schedule(opts.audit_period, audit);
+    }
+  };
+  sys.env().sim.Schedule(opts.audit_period, audit);
+  sys.env().sim.ScheduleAt(opts.heal_at + 1, [&]() {
+    rep.commits_at_heal = sys.TotalAccepted();
+  });
+
+  sys.env().sim.Run(opts.run_until);
+
+  bool converge = !injector.plan().HasUntargetedLoss();
+  if (first.ok()) {
+    ++rep.audits;
+    first = SafetyAuditor::AuditQanaat(sys, /*full=*/true,
+                                       converge ? &degraded : nullptr);
+  }
+  rep.convergence_checked = converge && first.ok();
+  rep.safety = first;
+  rep.trace_hash = sys.net().trace_hash();
+  rep.faults_applied = injector.applied();
+  rep.commits_total = sys.TotalAccepted();
+  rep.liveness_resumed = rep.commits_total > rep.commits_at_heal;
+  rep.net_duplicated = sys.net().duplicated();
+  rep.net_reordered = sys.net().reordered();
+  rep.net_dropped = sys.env().metrics.Get("net.dropped");
+  return rep;
+}
+
+ChaosReport RunFabricChaos(const ChaosOptions& opts) {
+  FabricConfig fc;
+  fc.enterprises = std::max(2, opts.enterprises);
+  fc.seed = opts.seed;
+  FabricSystem sys(fc);
+  sys.net().set_record_delivered_links(true);
+
+  WorkloadParams wl;
+  wl.cross_kind = opts.cross_kind;
+  wl.cross_fraction = opts.cross_fraction;
+  std::vector<FabricClient*> clients;
+  double per_client = opts.offered_tps / opts.client_machines;
+  for (int i = 0; i < opts.client_machines; ++i) {
+    FabricClient* c = sys.AddClient(wl, per_client);
+    c->Start(0, opts.issue_until, 0, opts.run_until);
+    clients.push_back(c);
+  }
+
+  // Victims: Raft followers only (a majority with the leader survives
+  // one follower down; the model pins leadership to orderer 0).
+  CrashGroup g;
+  for (int i = 1; i < sys.orderer_count(); ++i) {
+    g.crashable.push_back(sys.orderer(i)->id());
+  }
+  g.max_faulty = (sys.orderer_count() - 1) / 2;
+
+  // Fabric peers have no catch-up protocol, so untargeted loss would
+  // stall a peer forever on a missing block. Loss is therefore injected
+  // on client links only; dup/reorder stay network-wide (the peer's
+  // in-order admission absorbs them).
+  ChaosProfile profile = opts.profile;
+  double loss = profile.loss;
+  profile.loss = 0;
+  FaultPlan plan = MakeRandomPlan(opts.seed, {g}, opts.heal_at, profile);
+  if (loss > 0) {
+    Network::LinkFault f;
+    f.drop = loss;
+    SimTime from = opts.heal_at / 8;
+    SimTime to = opts.heal_at / 2;
+    for (FabricClient* c : clients) {
+      plan.LinkFaultWindow(from, to, c->id(), sys.leader_id(), f);
+    }
+    plan.Sort();
+  }
+
+  ChaosReport rep;
+  rep.plan_summary = plan.Summary();
+
+  FaultInjector injector(&sys.env(), &sys.net());
+  injector.Install(std::move(plan));
+
+  Status first = Status::Ok();
+  std::function<void()> audit = [&]() {
+    ++rep.audits;
+    if (first.ok()) {
+      first = SafetyAuditor::AuditFabric(sys);
+    }
+    if (sys.env().sim.now() + opts.audit_period < opts.run_until) {
+      sys.env().sim.Schedule(opts.audit_period, audit);
+    }
+  };
+  sys.env().sim.Schedule(opts.audit_period, audit);
+  sys.env().sim.ScheduleAt(opts.heal_at + 1, [&]() {
+    rep.commits_at_heal = sys.TotalCommitted();
+  });
+
+  sys.env().sim.Run(opts.run_until);
+
+  if (first.ok()) {
+    ++rep.audits;
+    first = SafetyAuditor::AuditFabric(sys);
+  }
+  if (first.ok()) {
+    // Block delivery is loss-free by construction, so at quiesce every
+    // peer must have applied the exact same block sequence.
+    uint64_t head = sys.peers().front()->next_block_to_apply();
+    for (const auto& p : sys.peers()) {
+      if (p->next_block_to_apply() != head) {
+        first = Status::Internal("fabric peers did not converge");
+        break;
+      }
+    }
+    rep.convergence_checked = first.ok();
+  }
+  rep.safety = first;
+  rep.trace_hash = sys.net().trace_hash();
+  rep.faults_applied = injector.applied();
+  rep.commits_total = sys.TotalCommitted();
+  rep.liveness_resumed = rep.commits_total > rep.commits_at_heal;
+  rep.net_duplicated = sys.net().duplicated();
+  rep.net_reordered = sys.net().reordered();
+  rep.net_dropped = sys.env().metrics.Get("net.dropped");
+  return rep;
+}
+
+}  // namespace
+
+ChaosReport RunChaos(const ChaosOptions& opts) {
+  if (opts.stack == ChaosStack::kFabric) return RunFabricChaos(opts);
+  return RunQanaatChaos(opts);
+}
+
+}  // namespace qanaat

@@ -69,11 +69,16 @@ LoadPoint RunQanaatPoint(const QanaatRunConfig& cfg, double offered_tps) {
     }
   }
 
+  if (cfg.drop_rate > 0) sys.net().SetDropRate(cfg.drop_rate);
+
   double per_client = offered_tps / cfg.client_machines;
   SimTime measure_from = cfg.warmup;
   SimTime measure_to = cfg.duration - cfg.warmup / 3;
   for (int i = 0; i < cfg.client_machines; ++i) {
     ClientMachine* c = sys.AddClient(cfg.workload, per_client);
+    if (cfg.client_retransmit_us > 0) {
+      c->SetRetransmitTimeout(cfg.client_retransmit_us);
+    }
     c->Start(0, cfg.duration, measure_from, measure_to);
   }
   sys.env().sim.Run(cfg.duration + 500 * kMillisecond);
@@ -191,6 +196,18 @@ LoadPoint RunFabricPoint(const FabricRunConfig& cfg, double offered_tps) {
     FabricClient* c = sys.AddClient(cfg.workload, per_client);
     c->Start(0, cfg.duration, measure_from, measure_to);
     clients.push_back(c);
+  }
+  if (cfg.drop_rate > 0) {
+    // Loss on client links only: the Fabric model has no block catch-up,
+    // so a dropped ordered-block delivery would stall a peer forever.
+    Network::LinkFault lf;
+    lf.drop = cfg.drop_rate;
+    for (FabricClient* c : clients) {
+      sys.net().SetLinkFaultBetween(c->id(), sys.leader_id(), lf);
+      for (const auto& peer : sys.peers()) {
+        sys.net().SetLinkFaultBetween(c->id(), peer->id(), lf);
+      }
+    }
   }
   sys.env().sim.Run(cfg.duration + 500 * kMillisecond);
 

@@ -39,6 +39,10 @@ struct QanaatRunConfig {
   /// Crash `count` non-primary ordering nodes (+1 exec node and +1 filter
   /// per cluster when the firewall is on) at t=0 — Table 3.
   int faulty_ordering_nodes = 0;
+  /// Uniform message-loss probability on every link (§5 failure runs).
+  double drop_rate = 0;
+  /// Client retransmission period; 0 disables (enable under loss).
+  SimTime client_retransmit_us = 0;
 };
 
 /// Runs one Qanaat configuration at a fixed offered load.
@@ -53,6 +57,9 @@ struct FabricRunConfig {
   SimTime warmup = 300 * kMillisecond;
   /// Crash one Raft follower at t=0 (Table 3).
   bool fail_follower = false;
+  /// Message-loss probability on client links (peers have no catch-up
+  /// protocol, so loss on block-delivery links would wedge them).
+  double drop_rate = 0;
 };
 
 /// Runs one Fabric configuration at a fixed offered load. Throughput

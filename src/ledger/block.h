@@ -12,6 +12,14 @@
 
 namespace qanaat {
 
+/// Fixed-width digest serde helpers shared by every message codec.
+inline void EncodeDigestTo(Encoder* enc, const Sha256Digest& d) {
+  enc->PutRaw(d.bytes.data(), d.bytes.size());
+}
+inline bool DecodeDigestFrom(Decoder* dec, Sha256Digest* d) {
+  return dec->GetRaw(d->bytes.data(), d->bytes.size());
+}
+
 /// A transaction block: the unit of ordering and of ledger append.
 ///
 /// The primary batches pending requests of one collection shard into a
@@ -41,6 +49,12 @@ struct Block {
 
   uint32_t WireSize() const;
   size_t tx_count() const { return txs.size(); }
+
+  /// Canonical wire form (id, attempt, transactions). tx_root is not
+  /// encoded: DecodeFrom re-Seals, so a tampered body cannot smuggle a
+  /// stale root past the digest check.
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, Block* out);
 
  private:
   mutable Sha256Digest digest_cache_;
@@ -90,6 +104,9 @@ struct CommitCertificate {
     return static_cast<uint32_t>(56 + sigs.size() * 20);
   }
 
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, CommitCertificate* out);
+
  private:
   Sha256Digest CoveredDigest() const;
 };
@@ -102,6 +119,9 @@ struct ReplyCertificate {
   std::vector<Signature> sigs;
 
   bool Valid(const KeyStore& ks, size_t quorum) const;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, ReplyCertificate* out);
 };
 
 }  // namespace qanaat

@@ -58,6 +58,11 @@ class DagLedger {
   size_t size() const { return entries_.size(); }
   const Entry& entry(size_t i) const { return entries_[i]; }
   const std::vector<size_t>& ChainOf(const ShardRef& ref) const;
+  /// Every chain this ledger maintains (audit surface: cross-replica
+  /// agreement is checked chain by chain).
+  const std::map<ShardRef, std::vector<size_t>>& chains() const {
+    return chains_;
+  }
 
   uint64_t total_txs() const { return total_txs_; }
 

@@ -20,6 +20,9 @@ struct XPrepareMsg : Message {
   BlockPtr block;                 // with ID assigned by the coordinator
   Sha256Digest block_digest;
   CommitCertificate coord_cert;   // local-majority evidence
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, XPrepareMsg* out);
 };
 
 /// ⟨PREPARED, IDc, [IDi,] d⟩ — involved cluster → coordinator primary.
@@ -36,6 +39,9 @@ struct XPreparedMsg : Message {
   CommitCertificate cluster_cert;
   Signature sig;
   bool abort = false;             // involved cluster votes abort
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, XPreparedMsg* out);
 };
 
 /// ⟨COMMIT, IDc, IDi, ..., d⟩_σPc — coordinator → every node of all
@@ -50,6 +56,9 @@ struct XCommitMsg : Message {
   /// Per-shard ⟨α, γ⟩ assignments collected during the prepared phase.
   std::vector<ShardAssignment> assignments;
   bool is_abort = false;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, XCommitMsg* out);
 };
 
 /// ⟨PROPOSE, ID, d, m⟩_σπ(Pi) — flattened protocols (paper §4.4, Fig 6):
@@ -60,6 +69,9 @@ struct FProposeMsg : Message {
   BlockPtr block;
   Sha256Digest block_digest;
   Signature sig;                  // initiator primary's signature
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, FProposeMsg* out);
 };
 
 /// ⟨ACCEPT, IDi, [IDj,] d, r⟩_σr — flattened accept. From the primary of
@@ -71,6 +83,9 @@ struct FAcceptMsg : Message {
   bool has_assignment = false;
   ShardAssignment assignment;     // IDj (+γj) announced by a primary
   Signature sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, FAcceptMsg* out);
 };
 
 /// ⟨COMMIT, IDi, IDj, ..., d, r⟩_σr — flattened commit vote. In the
@@ -84,6 +99,9 @@ struct FCommitMsg : Message {
   Signature sig;
   bool fast_path = false;
   std::vector<ShardAssignment> assignments;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, FCommitMsg* out);
 };
 
 /// commit-query / prepared-query (§4.3.4): a node that timed out waiting
@@ -93,6 +111,9 @@ struct QueryMsg : Message {
   int from_cluster = 0;
   Sha256Digest block_digest;
   Signature sig;
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, QueryMsg* out);
 };
 
 }  // namespace qanaat

@@ -83,13 +83,15 @@ void OrderingNode::OnXOrderDecided(uint64_t slot, const ConsensusValue& v) {
     // primary sends PREPARE (signed by local-majority: the commit
     // certificate of the internal consensus) to all involved clusters.
     xs.prepared_clusters.insert(cfg_.cluster_id);
+    xs.order_cert = MakeCert(slot, v.block_digest,
+                             ConsensusValue::Kind::kXOrder);
+    xs.order_cert_known = true;
     if (!engine_->IsPrimary()) return;
     auto prep = std::make_shared<XPrepareMsg>();
     prep->coord_cluster = cfg_.cluster_id;
     prep->block = v.block;
     prep->block_digest = v.block_digest;
-    prep->coord_cert =
-        MakeCert(slot, v.block_digest, ConsensusValue::Kind::kXOrder);
+    prep->coord_cert = xs.order_cert;
     prep->wire_bytes = 160 + v.block->WireSize() + prep->coord_cert.WireSize();
     prep->sig_verify_ops =
         static_cast<uint16_t>(prep->coord_cert.sigs.size());
@@ -106,6 +108,9 @@ void OrderingNode::OnXOrderDecided(uint64_t slot, const ConsensusValue& v) {
   // the locally assigned ID to the coordinator cluster, and — for
   // cross-shard cross-enterprise transactions — to every cluster that
   // maintains the same data shard as us (§4.3.3).
+  xs.order_cert =
+      MakeCert(slot, v.block_digest, ConsensusValue::Kind::kXOrder);
+  xs.order_cert_known = true;
   if (!engine_->IsPrimary()) return;
   auto pd = std::make_shared<XPreparedMsg>();
   pd->from_cluster = cfg_.cluster_id;
@@ -115,8 +120,7 @@ void OrderingNode::OnXOrderDecided(uint64_t slot, const ConsensusValue& v) {
     pd->assignment = v.assignments.front();
   }
   pd->is_cluster_cert = true;
-  pd->cluster_cert =
-      MakeCert(slot, v.block_digest, ConsensusValue::Kind::kXOrder);
+  pd->cluster_cert = xs.order_cert;
   pd->wire_bytes = 160 + pd->cluster_cert.WireSize();
   pd->sig_verify_ops = static_cast<uint16_t>(pd->cluster_cert.sigs.size());
   Multicast(dir_->Cluster(coord).ordering, pd);
@@ -204,6 +208,27 @@ void OrderingNode::HandleXPrepare(NodeId from, const XPrepareMsg& m) {
   // clusters wait for the PREPARED of the same-shard assigner cluster.
   if (!IAmShardAssigner(probe.collection, coord.enterprise)) return;
   if (!engine_->IsPrimary()) return;
+  if (xs.assign_proposed) {
+    // Duplicate / re-driven PREPARE: never assign a second ⟨α, γ⟩ —
+    // re-send the PREPARED if the first assignment already decided.
+    auto mine = xs.assignments.find(cfg_.shard);
+    if (xs.order_cert_known && mine != xs.assignments.end() &&
+        mine->second.cluster == cfg_.cluster_id) {
+      auto pd = std::make_shared<XPreparedMsg>();
+      pd->from_cluster = cfg_.cluster_id;
+      pd->block_digest = m.block_digest;
+      pd->has_assignment = true;
+      pd->assignment = mine->second;
+      pd->is_cluster_cert = true;
+      pd->cluster_cert = xs.order_cert;
+      pd->wire_bytes = 160 + pd->cluster_cert.WireSize();
+      pd->sig_verify_ops =
+          static_cast<uint16_t>(pd->cluster_cert.sigs.size());
+      Multicast(coord.ordering, pd);
+    }
+    return;
+  }
+  xs.assign_proposed = true;
 
   ConsensusValue v;
   v.kind = ConsensusValue::Kind::kXOrder;
@@ -355,6 +380,7 @@ void OrderingNode::OnXCommitDecided(uint64_t slot, const ConsensusValue& v,
     }
   }
 
+  RecordOutcome(xs, cert, is_abort);
   if (!is_abort) {
     auto it = xs.assignments.find(cfg_.shard);
     if (it != xs.assignments.end()) {
@@ -383,12 +409,14 @@ void OrderingNode::HandleXCommit(NodeId /*from*/, const XCommitMsg& m) {
       validated_digest_.erase(
           {ShardRef{a.alpha.collection, a.alpha.shard}, a.alpha.n});
     }
+    RecordOutcome(xs, m.coord_cert, true);
     FinishCross(xs, false);
     return;
   }
   for (const auto& a : m.assignments) {
     xs.assignments[a.alpha.shard] = a;
   }
+  RecordOutcome(xs, m.coord_cert, false);
   auto it = xs.assignments.find(cfg_.shard);
   if (it != xs.assignments.end()) {
     CommitBlock(m.block, m.coord_cert, it->second.alpha, it->second.gamma,

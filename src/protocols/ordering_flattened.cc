@@ -103,6 +103,22 @@ void OrderingNode::HandleFPropose(NodeId from, const FProposeMsg& m) {
       m.initiator_cluster, m.block->id.alpha, m.block->id.gamma};
   ArmCrossTimer(m.block_digest);
 
+  // Replay a fast-path commit that overtook this propose.
+  if (xs.pending_fast_commit != nullptr) {
+    std::shared_ptr<const FCommitMsg> held = xs.pending_fast_commit;
+    NodeId held_from = xs.pending_fast_commit_from;
+    xs.pending_fast_commit = nullptr;
+    HandleFCommit(held_from, *held);
+    if (xs.done) return;
+  }
+
+  // Duplicate propose (initiator re-drive after losing votes): re-vote
+  // idempotently instead of falling through the first-time paths.
+  if (xs.sent_accept) {
+    ResendCrossVotes(xs);
+    return;
+  }
+
   // Assigner clusters on other shards assign their own ID and announce
   // it in their primary's ACCEPT (§4.4.2, §4.4.3).
   if (xs.is_cross_shard &&
@@ -112,6 +128,24 @@ void OrderingNode::HandleFPropose(NodeId from, const FProposeMsg& m) {
     ShardAssignment mine;
     mine.cluster = cfg_.cluster_id;
     mine.alpha = NextAlpha(probe.collection);
+    // Register the claim like any other vote. A primary whose sequence
+    // counter is stale (fresh after a leadership change) must also skip
+    // numbers already claimed by other in-flight blocks — assigning a
+    // claimed number and voting for it anyway is how two blocks end up
+    // committed at one height.
+    {
+      ShardRef ref{mine.alpha.collection, mine.alpha.shard};
+      while (true) {
+        auto claim = validated_digest_.find({ref, mine.alpha.n});
+        if (claim == validated_digest_.end() ||
+            claim->second == m.block_digest) {
+          break;
+        }
+        env()->metrics.Inc("cross.assign_skip_claimed");
+        mine.alpha.n = ++next_seq_[probe.collection];
+      }
+      validated_digest_[{ref, mine.alpha.n}] = m.block_digest;
+    }
     mine.gamma = CaptureGamma(probe.collection);
     xs.assignments[cfg_.shard] = mine;
 
@@ -123,12 +157,15 @@ void OrderingNode::HandleFPropose(NodeId from, const FProposeMsg& m) {
     acc->sig = env()->keystore.Sign(id(), AcceptSignable(m.block_digest));
     acc->wire_bytes = 160;
     if (FlattenedCftFastPath(xs)) {
-      // Fast path: announce to own cluster nodes; votes go to the
-      // initiator primary only.
+      // Fast path: announce to own cluster nodes; votes go to the whole
+      // initiator cluster — leadership may have moved off the initial
+      // primary, and a vote sent only there would never be tallied.
       for (NodeId n : cfg_.ordering) {
         if (n != id()) Send(n, acc);
       }
-      Send(init.InitialPrimary(), acc);
+      for (NodeId n : init.ordering) {
+        if (n != id()) Send(n, acc);
+      }
       xs.sent_accept = true;
       return;
     }
@@ -163,13 +200,17 @@ void OrderingNode::SendFAccept(XState& xs) {
     }
   }
   // Validate the assignment on our own chain before voting: idempotent
-  // for the same block, refused for a rival claim to the slot.
+  // for the same block, refused for a rival claim to the slot. This
+  // applies to our own cluster's assignments too — after a leadership
+  // change the new primary may unknowingly re-assign a sequence number
+  // the old primary's still-in-flight block already claimed, and a node
+  // endorsing both would let two different blocks commit at one height.
   auto mine = xs.assignments.find(cfg_.shard);
-  if (mine != xs.assignments.end() &&
-      mine->second.cluster != cfg_.cluster_id) {
+  if (mine != xs.assignments.end()) {
     const LocalPart& alpha = mine->second.alpha;
     ShardRef ref{alpha.collection, alpha.shard};
-    if (own_pending_.count({ref, alpha.n})) {
+    if (mine->second.cluster != cfg_.cluster_id &&
+        own_pending_.count({ref, alpha.n})) {
       env()->metrics.Inc("cross.conflict_nack");
       return;  // never endorse a rival claim to our in-flight sequence
     }
@@ -194,8 +235,11 @@ void OrderingNode::SendFAccept(XState& xs) {
   acc->sig = env()->keystore.Sign(id(), AcceptSignable(xs.digest));
   if (FlattenedCftFastPath(xs)) {
     acc->sig_verify_ops = 0;
-    Send(dir_->Cluster(xs.involved.front()).InitialPrimary(), acc);
-    // In the fast path only the initiator primary tallies votes.
+    // Vote to every node of the initiator cluster: only its current
+    // primary tallies, and that may no longer be the initial one.
+    for (NodeId n : dir_->Cluster(xs.involved.front()).ordering) {
+      if (n != id()) Send(n, acc);
+    }
     if (engine_->IsPrimary() && xs.i_coordinate) {
       xs.accepts[cfg_.cluster_id][id()] = acc->sig;
       MaybeSendFCommit(xs);
@@ -209,6 +253,59 @@ void OrderingNode::SendFAccept(XState& xs) {
   }
   xs.accepts[cfg_.cluster_id][id()] = acc->sig;
   MaybeSendFCommit(xs);
+}
+
+void OrderingNode::ResendCrossVotes(XState& xs) {
+  if (xs.done || xs.block == nullptr || !xs.sent_accept) return;
+  // Re-validate the slot claim: if the chain slot has since been won by
+  // a different block, re-voting for this one could hand two different
+  // blocks a quorum at the same height.
+  auto claimed = xs.assignments.find(cfg_.shard);
+  if (claimed != xs.assignments.end()) {
+    const LocalPart& alpha = claimed->second.alpha;
+    auto claim = validated_digest_.find(
+        {ShardRef{alpha.collection, alpha.shard}, alpha.n});
+    if (claim == validated_digest_.end() || claim->second != xs.digest) {
+      env()->metrics.Inc("cross.resend_suppressed");
+      return;
+    }
+  }
+  auto acc = std::make_shared<FAcceptMsg>();
+  acc->from_cluster = cfg_.cluster_id;
+  acc->block_digest = xs.digest;
+  acc->sig = env()->keystore.Sign(id(), AcceptSignable(xs.digest));
+  auto mine = xs.assignments.find(cfg_.shard);
+  if (mine != xs.assignments.end() &&
+      mine->second.cluster == cfg_.cluster_id && engine_->IsPrimary()) {
+    acc->has_assignment = true;
+    acc->assignment = mine->second;
+    acc->wire_bytes = 160;
+  }
+  if (FlattenedCftFastPath(xs)) {
+    acc->sig_verify_ops = 0;
+    for (NodeId n : dir_->Cluster(xs.involved.front()).ordering) {
+      if (n != id()) Send(n, acc);
+    }
+    return;
+  }
+  for (int c : xs.involved) {
+    for (NodeId n : dir_->Cluster(c).ordering) {
+      if (n != id()) Send(n, acc);
+    }
+  }
+  if (xs.sent_commit) {
+    auto cm = std::make_shared<FCommitMsg>();
+    cm->from_cluster = cfg_.cluster_id;
+    cm->block_digest = xs.digest;
+    cm->sig = env()->keystore.Sign(id(), xs.digest);
+    for (const auto& [s2, a] : xs.assignments) cm->assignments.push_back(a);
+    cm->wire_bytes = 96 + static_cast<uint32_t>(cm->assignments.size()) * 48;
+    for (int c : xs.involved) {
+      for (NodeId n : dir_->Cluster(c).ordering) {
+        if (n != id()) Send(n, cm);
+      }
+    }
+  }
 }
 
 void OrderingNode::HandleFAccept(NodeId from, const FAcceptMsg& m) {
@@ -280,6 +377,7 @@ void OrderingNode::MaybeSendFCommit(XState& xs) {
     cert.block_digest = xs.digest;
     cert.direct = true;
     cert.sigs.push_back(cm->sig);
+    RecordOutcome(xs, cert, false);
     auto mine = xs.assignments.find(cfg_.shard);
     if (mine != xs.assignments.end()) {
       CommitBlock(xs.block, cert, mine->second.alpha, mine->second.gamma,
@@ -289,12 +387,19 @@ void OrderingNode::MaybeSendFCommit(XState& xs) {
     return;
   }
 
+  for (const auto& [s2, a] : xs.assignments) cm->assignments.push_back(a);
+  cm->wire_bytes = 96 + static_cast<uint32_t>(cm->assignments.size()) * 48;
   for (int c : xs.involved) {
     for (NodeId n : dir_->Cluster(c).ordering) {
       if (n != id()) Send(n, cm);
     }
   }
   xs.commit_votes[cfg_.cluster_id][id()] = cm->sig;
+  for (const auto& [s2, a] : xs.assignments) {
+    auto& slot = xs.assignment_votes[a.alpha.shard][a.alpha.n];
+    slot.first = a;
+    slot.second.insert(id());
+  }
   MaybeFCommitDone(xs);
 }
 
@@ -312,7 +417,15 @@ void OrderingNode::HandleFCommit(NodeId from, const FCommitMsg& m) {
 
   if (m.fast_path) {
     // Crash-only fast path: trust the initiator primary's instruction.
-    if (xs.block == nullptr) return;  // propose not yet seen
+    if (xs.block == nullptr) {
+      // The commit overtook its FPropose (reordered delivery). Hold it —
+      // dropping it would stall this replica's chain forever, since the
+      // initiator does not retransmit fast-path commits.
+      env()->metrics.Inc("cross.fcommit_before_propose");
+      xs.pending_fast_commit = std::make_shared<FCommitMsg>(m);
+      xs.pending_fast_commit_from = from;
+      return;
+    }
     for (const auto& a : m.assignments) {
       xs.assignments[a.alpha.shard] = a;
     }
@@ -320,6 +433,7 @@ void OrderingNode::HandleFCommit(NodeId from, const FCommitMsg& m) {
     cert.block_digest = m.block_digest;
     cert.direct = true;
     cert.sigs.push_back(m.sig);
+    RecordOutcome(xs, cert, false);
     auto mine = xs.assignments.find(cfg_.shard);
     if (mine != xs.assignments.end()) {
       CommitBlock(xs.block, cert, mine->second.alpha, mine->second.gamma,
@@ -330,6 +444,11 @@ void OrderingNode::HandleFCommit(NodeId from, const FCommitMsg& m) {
   }
 
   xs.commit_votes[m.from_cluster][from] = m.sig;
+  for (const auto& a : m.assignments) {
+    auto& slot = xs.assignment_votes[a.alpha.shard][a.alpha.n];
+    slot.first = a;
+    slot.second.insert(from);
+  }
   MaybeFCommitDone(xs);
 }
 
@@ -348,6 +467,36 @@ void OrderingNode::MaybeFCommitDone(XState& xs) {
   for (const auto& [node, sig] : xs.commit_votes[cfg_.cluster_id]) {
     cert.sigs.push_back(sig);
   }
+  // Commit under the assignment a local-majority of its assigner cluster
+  // endorsed, not under our local belief: a recovered replica that
+  // self-assigned a stale sequence number while wrongly leading must not
+  // append the block at that height.
+  auto av = xs.assignment_votes.find(cfg_.shard);
+  if (av != xs.assignment_votes.end()) {
+    size_t best = 0;
+    const ShardAssignment* winner = nullptr;
+    for (const auto& [n, variant] : av->second) {
+      const std::vector<NodeId>& assigner =
+          dir_->Cluster(variant.first.cluster).ordering;
+      size_t backing = 0;
+      for (NodeId v : variant.second) {
+        if (std::find(assigner.begin(), assigner.end(), v) !=
+            assigner.end()) {
+          ++backing;
+        }
+      }
+      if (backing >= dir_->params.LocalMajority() && backing > best) {
+        best = backing;
+        winner = &variant.first;
+      }
+    }
+    if (winner != nullptr &&
+        !(xs.assignments[cfg_.shard] == *winner)) {
+      env()->metrics.Inc("cross.assignment_corrected");
+      xs.assignments[cfg_.shard] = *winner;
+    }
+  }
+  RecordOutcome(xs, cert, false);
   auto mine = xs.assignments.find(cfg_.shard);
   if (mine != xs.assignments.end()) {
     CommitBlock(xs.block, cert, mine->second.alpha, mine->second.gamma,

@@ -65,6 +65,14 @@ SimTime OrderingNode::CostOf(const Message& msg) const {
   return Actor::CostOf(msg);
 }
 
+void OrderingNode::OnCrash() {
+  // Volatile intake state dies with the process: pending batch items are
+  // recovered by client retransmission, and the batcher's armed-timer
+  // flags must not outlive the timers (which the crash epoch discards).
+  batcher_.Reset();
+  progress_checks_.clear();
+}
+
 // --------------------------------------------------------------- intake
 
 void OrderingNode::OnMessage(NodeId from, const MessageRef& msg) {
@@ -73,13 +81,43 @@ void OrderingNode::OnMessage(NodeId from, const MessageRef& msg) {
       HandleRequest(from, *msg->As<RequestMsg>());
       break;
     case MsgType::kPrePrepare:
+      ObserveProposedValue(msg->As<PrePrepareMsg>()->value);
+      engine_->OnMessage(from, msg);
+      break;
+    case MsgType::kPaxosAccept:
+      ObserveProposedValue(msg->As<PaxosAcceptMsg>()->value);
+      engine_->OnMessage(from, msg);
+      break;
+    case MsgType::kViewChange:
+      for (const auto& p : msg->As<ViewChangeMsg>()->prepared) {
+        ObserveProposedValue(p.value);
+      }
+      engine_->OnMessage(from, msg);
+      break;
+    case MsgType::kNewView:
+      for (const auto& p : msg->As<NewViewMsg>()->reproposals) {
+        ObserveProposedValue(p.value);
+      }
+      engine_->OnMessage(from, msg);
+      break;
+    case MsgType::kPaxosPromise:
+      for (const auto& a : msg->As<PaxosPromiseMsg>()->accepted) {
+        ObserveProposedValue(a.value);
+      }
+      engine_->OnMessage(from, msg);
+      break;
     case MsgType::kPrepare:
     case MsgType::kCommit:
-    case MsgType::kViewChange:
-    case MsgType::kNewView:
-    case MsgType::kPaxosAccept:
     case MsgType::kPaxosAccepted:
     case MsgType::kPaxosLearn:
+      engine_->OnMessage(from, msg);
+      break;
+    case MsgType::kFillReply:
+      ObserveProposedValue(msg->As<FillReplyMsg>()->value);
+      engine_->OnMessage(from, msg);
+      break;
+    case MsgType::kPaxosPrepare:
+    case MsgType::kFillRequest:
       engine_->OnMessage(from, msg);
       break;
     case MsgType::kXPrepare:
@@ -140,6 +178,35 @@ void OrderingNode::OnTimer(uint64_t tag, uint64_t payload) {
     RunRetry(payload);
     return;
   }
+  if (tag == kTagProgress) {
+    auto it = progress_checks_.find(payload);
+    if (it == progress_checks_.end()) return;
+    if (seen_requests_.count(it->second.id) ||
+        committed_requests_.count(it->second.id) ||
+        observed_requests_.count(it->second.id)) {
+      // A proposal carrying the request was observed — primary is live.
+      progress_checks_.erase(it);
+      return;
+    }
+    if (engine_->LastDelivered() != it->second.delivered_at_arm) {
+      // Consensus moved since the relay: the primary is alive and the
+      // request is parked for some other (legitimate) reason. Suspecting
+      // here would thrash views on a healthy cluster.
+      progress_checks_.erase(it);
+      return;
+    }
+    if (++it->second.tries > 3) {
+      // The request is lost upstream (e.g. dropped on the wire); the
+      // client's retransmission will start a fresh watchdog.
+      progress_checks_.erase(it);
+      return;
+    }
+    env()->metrics.Inc("order.primary_suspected");
+    engine_->SuspectPrimary();
+    it->second.delivered_at_arm = engine_->LastDelivered();
+    StartTimer(2 * dir_->params.consensus_timeout_us, kTagProgress, payload);
+    return;
+  }
   if (tag == kTagCross) {
     auto it = cross_timer_digest_.find(payload);
     if (it == cross_timer_digest_.end()) return;
@@ -150,6 +217,10 @@ void OrderingNode::OnTimer(uint64_t tag, uint64_t payload) {
     XState& xs = xit->second;
     xs.timer_armed = false;
     env()->metrics.Inc("cross.timeout");
+    // Initiator/coordinator primary: re-drive the instance — some votes
+    // or the PREPARE/PROPOSE itself may have been lost, and nothing else
+    // retransmits them.
+    RedriveCross(xs);
     // §4.3.4: query the coordinator/initiator cluster for the outcome.
     auto q = std::make_shared<QueryMsg>(MsgType::kCommitQuery);
     q->from_cluster = cfg_.cluster_id;
@@ -205,9 +276,11 @@ void OrderingNode::HandleRequest(NodeId /*from*/, const RequestMsg& m) {
       }
     }
     Send(engine_->PrimaryNode(), std::make_shared<RequestMsg>(m));
+    WatchRelayedRequest(tx);
     return;
   }
-  if (seen_requests_.count({tx.client, tx.client_ts})) {
+  if (seen_requests_.count({tx.client, tx.client_ts}) ||
+      ObservedRecently({tx.client, tx.client_ts})) {
     env()->metrics.Inc("order.duplicate_request");
     return;
   }
@@ -225,6 +298,38 @@ void OrderingNode::HandleRequest(NodeId /*from*/, const RequestMsg& m) {
   FlowKey key{tx.collection, tx.shards};
   SimTime window = IsCross(key) ? dir_->params.cross_batch_timeout_us : 0;
   batcher_.Add(key, tx, window);
+}
+
+void OrderingNode::ObserveProposedValue(const ConsensusValue& v) {
+  if (v.block == nullptr) return;
+  if (v.kind != ConsensusValue::Kind::kBlock &&
+      v.kind != ConsensusValue::Kind::kXOrder) {
+    return;
+  }
+  for (const Transaction& tx : v.block->txs) {
+    observed_requests_[{tx.client, tx.client_ts}] = now();
+  }
+}
+
+bool OrderingNode::ObservedRecently(
+    const std::pair<NodeId, uint64_t>& id) const {
+  if (committed_requests_.count(id)) return true;
+  auto it = observed_requests_.find(id);
+  if (it == observed_requests_.end()) return false;
+  // In-flight observations cover the window a live proposal could still
+  // commit in (internal rounds plus a full re-driven cross instance);
+  // past it the proposal is presumed abandoned and the transaction may
+  // be batched afresh.
+  return now() - it->second <= 2 * dir_->params.cross_timeout_us;
+}
+
+void OrderingNode::WatchRelayedRequest(const Transaction& tx) {
+  uint64_t token = next_progress_++;
+  ProgressCheck pc;
+  pc.id = {tx.client, tx.client_ts};
+  pc.delivered_at_arm = engine_->LastDelivered();
+  progress_checks_[token] = pc;
+  StartTimer(2 * dir_->params.consensus_timeout_us, kTagProgress, token);
 }
 
 LocalPart OrderingNode::NextAlpha(const CollectionId& c) {
@@ -280,6 +385,19 @@ BlockPtr OrderingNode::MakeBlock(const FlowKey& key,
 void OrderingNode::OnBatchClosed(const FlowKey& key,
                                  std::vector<Transaction> txs,
                                  BatchClose why) {
+  // A transaction observed in another leader's proposal between intake
+  // and batch close is (or will be) ordered there — proposing it again
+  // here would commit it twice.
+  size_t before = txs.size();
+  txs.erase(std::remove_if(txs.begin(), txs.end(),
+                           [this](const Transaction& tx) {
+                             return ObservedRecently(
+                                 {tx.client, tx.client_ts});
+                           }),
+            txs.end());
+  if (txs.size() != before) {
+    env()->metrics.Inc("order.dup_tx_filtered", before - txs.size());
+  }
   if (txs.empty()) return;
   env()->metrics.Inc(std::string("batch.closed_") + BatchCloseName(why));
   env()->metrics.Hist("batch.txs").Add(static_cast<int64_t>(txs.size()));
@@ -348,6 +466,9 @@ void OrderingNode::CommitBlock(const BlockPtr& block, CommitCertificate cert,
                                const LocalPart& alpha,
                                std::vector<GammaEntry> gamma,
                                bool reply_from_here) {
+  for (const Transaction& tx : block->txs) {
+    committed_requests_.insert({tx.client, tx.client_ts});
+  }
   // Track committed state for future γ captures.
   auto& st = state_[alpha.collection];
   st = std::max(st, alpha.n);
@@ -394,10 +515,14 @@ void OrderingNode::CommitBlock(const BlockPtr& block, CommitCertificate cert,
 
 void OrderingNode::OnExecutedReply(const ExecutorCore::ExecResult& res,
                                    bool primary) {
-  // Crash cluster: only the primary replies (one reply suffices).
-  // Byzantine without separation: every node replies; the client machine
-  // waits for f+1 matching results.
-  if (cfg_.failure_model == FailureModel::kCrash && !primary) return;
+  // Every executing node replies; the client machine applies its
+  // acceptance rule (first reply on crash clusters, f+1 matching results
+  // on Byzantine ones). Suppressing non-primary replies on crash
+  // clusters — the cheaper steady-state choice — deadlocks under chaos:
+  // leadership can land on a recovered replica whose execution lags its
+  // consensus (its ledger misses blocks from its crashed life), and then
+  // nobody ever answers the clients.
+  (void)primary;
   auto reply = std::make_shared<ReplyMsg>();
   reply->block_digest = res.block->Digest();
   reply->result_digest = res.result_digest;
@@ -576,11 +701,74 @@ void OrderingNode::RunRetry(uint64_t token) {
   }
 }
 
-void OrderingNode::HandleQuery(NodeId /*from*/, const QueryMsg& m) {
+void OrderingNode::RecordOutcome(XState& xs, const CommitCertificate& cert,
+                                 bool abort) {
+  xs.outcome_cert = cert;
+  xs.outcome_known = true;
+  xs.outcome_abort = abort;
+}
+
+void OrderingNode::RedriveCross(XState& xs) {
+  if (xs.done || xs.block == nullptr || !xs.i_coordinate ||
+      !engine_->IsPrimary()) {
+    return;
+  }
+  env()->metrics.Inc("cross.redrive");
+  if (dir_->params.family == ProtocolFamily::kFlattened) {
+    auto prop = std::make_shared<FProposeMsg>();
+    prop->initiator_cluster = cfg_.cluster_id;
+    prop->block = xs.block;
+    prop->block_digest = xs.digest;
+    prop->sig = env()->keystore.Sign(id(), xs.digest);
+    prop->wire_bytes = 128 + xs.block->WireSize();
+    for (int c : xs.involved) {
+      for (NodeId n : dir_->Cluster(c).ordering) {
+        if (n != id()) Send(n, prop);
+      }
+    }
+    ResendCrossVotes(xs);
+  } else if (xs.order_cert_known) {
+    auto prep = std::make_shared<XPrepareMsg>();
+    prep->coord_cluster = cfg_.cluster_id;
+    prep->block = xs.block;
+    prep->block_digest = xs.digest;
+    prep->coord_cert = xs.order_cert;
+    prep->wire_bytes =
+        160 + xs.block->WireSize() + prep->coord_cert.WireSize();
+    prep->sig_verify_ops =
+        static_cast<uint16_t>(prep->coord_cert.sigs.size());
+    for (int c : xs.involved) {
+      if (c == cfg_.cluster_id) continue;
+      Multicast(dir_->Cluster(c).ordering, prep);
+    }
+  }
+}
+
+void OrderingNode::HandleQuery(NodeId from, const QueryMsg& m) {
   auto it = xstates_.find(m.block_digest);
-  if (it != xstates_.end() && it->second.done) {
+  if (it != xstates_.end() && it->second.done && it->second.outcome_known &&
+      it->second.block != nullptr) {
+    // §4.3.4: answer with the certified outcome. The asker lost the
+    // original commit (crash, partition, drop); without this resend its
+    // chain — and every collection order-dependent on it — stalls
+    // forever.
+    const XState& xs = it->second;
     env()->metrics.Inc("cross.query_answered");
-    return;  // outcome already disseminated; commit resend handled below
+    auto cm = std::make_shared<XCommitMsg>();
+    cm->coord_cluster = cfg_.cluster_id;
+    cm->block = xs.block;
+    cm->block_digest = m.block_digest;
+    cm->coord_cert = xs.outcome_cert;
+    cm->is_abort = xs.outcome_abort;
+    if (xs.outcome_abort) cm->type = MsgType::kXAbort;
+    for (const auto& [shard, a] : xs.assignments) {
+      cm->assignments.push_back(a);
+    }
+    cm->wire_bytes = 128 + cm->coord_cert.WireSize() +
+                     static_cast<uint32_t>(cm->assignments.size()) * 48;
+    cm->sig_verify_ops = static_cast<uint16_t>(cm->coord_cert.sigs.size());
+    Send(from, cm);
+    return;
   }
   // If we have no record or it is still pending, count suspicion toward
   // the primary (a local-majority of queries triggers a view change,

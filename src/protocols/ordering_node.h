@@ -36,6 +36,7 @@ class OrderingNode : public Actor {
 
   void OnMessage(NodeId from, const MessageRef& msg) override;
   void OnTimer(uint64_t tag, uint64_t payload) override;
+  void OnCrash() override;
 
   const ClusterConfig& cluster() const { return cfg_; }
   InternalConsensus* engine() { return engine_.get(); }
@@ -79,8 +80,32 @@ class OrderingNode : public Actor {
     // Flattened bookkeeping.
     std::map<int, std::map<NodeId, Signature>> accepts;
     std::map<int, std::map<NodeId, Signature>> commit_votes;
+    // Per-shard assignment endorsements carried on commit votes: keyed
+    // by the claimed sequence number, with the endorsing nodes. Commit
+    // adopts the variant a local-majority of the assigner cluster backs —
+    // a node's own belief may be a stale self-assignment from a crashed
+    // life, and committing under it diverges the shared chain.
+    std::map<ShardId, std::map<SeqNo, std::pair<ShardAssignment,
+                                                std::set<NodeId>>>>
+        assignment_votes;
     bool sent_accept = false;
     bool sent_commit = false;
+    // A fast-path FCommit that overtook its FPropose (reordered
+    // delivery): held until the block arrives, then replayed.
+    std::shared_ptr<const FCommitMsg> pending_fast_commit;
+    NodeId pending_fast_commit_from = kInvalidNode;
+    // Outcome evidence, kept so commit-queries (§4.3.4) can be answered:
+    // a node stalled on a lost commit recovers by querying any node that
+    // has the certified outcome.
+    CommitCertificate outcome_cert;
+    bool outcome_known = false;
+    bool outcome_abort = false;
+    // kXOrder evidence (coordinator family), kept so a timed-out
+    // initiator can re-drive its PREPARE and an assigner can re-send its
+    // PREPARED without running consensus again.
+    CommitCertificate order_cert;
+    bool order_cert_known = false;
+    bool assign_proposed = false;
     bool done = false;
     bool timer_armed = false;
     SimTime started_at = 0;
@@ -90,9 +115,20 @@ class OrderingNode : public Actor {
   static constexpr uint64_t kTagBatch = 1;
   static constexpr uint64_t kTagCross = 2;
   static constexpr uint64_t kTagRetry = 3;
+  static constexpr uint64_t kTagProgress = 4;
 
   // ---- request intake / batching
   void HandleRequest(NodeId from, const RequestMsg& m);
+  /// Marks every transaction of a value observed in a consensus proposal
+  /// (pre-prepare, Paxos accept, view-change proof) as seen, so a client
+  /// retransmission racing a view change cannot get the same transaction
+  /// batched into a second block by the new primary.
+  void ObserveProposedValue(const ConsensusValue& v);
+  /// Arms a progress watchdog for a request relayed to the primary: if no
+  /// proposal containing it is observed in time, suspect the primary —
+  /// otherwise a primary that crashed with nothing in flight is never
+  /// suspected and the cluster ignores new requests forever.
+  void WatchRelayedRequest(const Transaction& tx);
   /// Batcher flush sink: seals the batch into a block and hands it to
   /// internal consensus (intra-cluster) or a cross-cluster protocol.
   void OnBatchClosed(const FlowKey& key, std::vector<Transaction> txs,
@@ -143,6 +179,14 @@ class OrderingNode : public Actor {
   void FinishCross(XState& xs, bool committed);
   void ArmCrossTimer(const Sha256Digest& d);
   void RunRetry(uint64_t token);
+  /// Timed-out initiator/coordinator primary re-drives an unfinished
+  /// cross instance (re-sends PREPARE / PROPOSE); receivers answer with
+  /// idempotent re-votes. Without this, one lost vote strands the
+  /// instance and holes its chain's sequence numbers forever.
+  void RedriveCross(XState& xs);
+  /// Re-sends this node's accept (and commit) votes for an instance it
+  /// already voted on — the duplicate-propose path of a re-drive.
+  void ResendCrossVotes(XState& xs);
 
   // ---- coordinator-based family (ordering_coordinator.cc)
   void StartCoordinated(const BlockPtr& block);
@@ -166,6 +210,8 @@ class OrderingNode : public Actor {
 
   // ---- failure handling
   void HandleQuery(NodeId from, const QueryMsg& m);
+  /// Records a certified cross-instance outcome for query answering.
+  void RecordOutcome(XState& xs, const CommitCertificate& cert, bool abort);
 
   /// Cost model hook: client requests are MAC-authenticated on crash
   /// clusters and signature-verified on Byzantine ones; the privacy
@@ -194,7 +240,33 @@ class OrderingNode : public Actor {
   // own cluster is still trying to commit (optimistic-mode safety,
   // §4.3.5).
   std::set<std::pair<ShardRef, SeqNo>> own_pending_;
+  // Requests this node itself admitted to its batcher (primary intake
+  // dedup)...
   std::set<std::pair<NodeId, uint64_t>> seen_requests_;
+  // ...and requests observed in someone else's proposal, promise, fill
+  // or a delivered block, with the observation time. Kept separate: a
+  // batch is filtered against observations at close, which drops a
+  // retransmitted transaction that a previous primary already got
+  // ordered — without dropping the batch's own fresh intake. An
+  // observation EXPIRES (ObservedRecently) so a transaction whose
+  // proposal was abandoned (e.g. no-op-filled by a view change before
+  // preparing) can be retried by client retransmission instead of being
+  // blacklisted forever; committed_requests_ is the permanent record.
+  std::map<std::pair<NodeId, uint64_t>, SimTime> observed_requests_;
+  std::set<std::pair<NodeId, uint64_t>> committed_requests_;
+  bool ObservedRecently(const std::pair<NodeId, uint64_t>& id) const;
+  // Progress watchdog for a relayed request: if neither the request is
+  // observed in a proposal nor any slot delivers before the timer fires,
+  // the primary is suspected. The delivery baseline distinguishes a dead
+  // primary from a request parked for a legitimate reason (deferred
+  // cross-shard conflict, stalled cross instance).
+  struct ProgressCheck {
+    std::pair<NodeId, uint64_t> id;
+    int tries = 0;
+    uint64_t delivered_at_arm = 0;
+  };
+  std::map<uint64_t, ProgressCheck> progress_checks_;
+  uint64_t next_progress_ = 0;
   std::map<Sha256Digest, XState> xstates_;
   std::map<uint64_t, Sha256Digest> cross_timer_digest_;
   uint64_t next_cross_timer_ = 0;

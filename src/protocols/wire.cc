@@ -1,0 +1,220 @@
+#include "protocols/wire.h"
+
+namespace qanaat {
+
+namespace {
+
+template <typename T>
+bool EncodeBody(const Message& m, Encoder* enc) {
+  static_cast<const T&>(m).EncodeTo(enc);
+  return true;
+}
+
+template <typename T, typename... CtorArgs>
+MessageRef DecodeBody(Decoder* dec, uint32_t wire_bytes,
+                      uint16_t sig_verify_ops, CtorArgs... args) {
+  auto m = std::make_shared<T>(args...);
+  if (!T::DecodeFrom(dec, m.get())) return nullptr;
+  m->wire_bytes = wire_bytes;
+  m->sig_verify_ops = sig_verify_ops;
+  return m;
+}
+
+}  // namespace
+
+bool EncodeMessage(const Message& m, Encoder* enc) {
+  Encoder body;
+  bool ok = false;
+  switch (m.type) {
+    case MsgType::kRequest:
+      ok = EncodeBody<RequestMsg>(m, &body);
+      break;
+    case MsgType::kReply:
+      ok = EncodeBody<ReplyMsg>(m, &body);
+      break;
+    case MsgType::kReplyCert:
+      ok = EncodeBody<ReplyCertMsg>(m, &body);
+      break;
+    case MsgType::kPrePrepare:
+      ok = EncodeBody<PrePrepareMsg>(m, &body);
+      break;
+    case MsgType::kPrepare:
+      ok = EncodeBody<PrepareMsg>(m, &body);
+      break;
+    case MsgType::kCommit:
+      ok = EncodeBody<CommitMsg>(m, &body);
+      break;
+    case MsgType::kViewChange:
+      ok = EncodeBody<ViewChangeMsg>(m, &body);
+      break;
+    case MsgType::kNewView:
+      ok = EncodeBody<NewViewMsg>(m, &body);
+      break;
+    case MsgType::kPaxosAccept:
+      ok = EncodeBody<PaxosAcceptMsg>(m, &body);
+      break;
+    case MsgType::kPaxosAccepted:
+      ok = EncodeBody<PaxosAcceptedMsg>(m, &body);
+      break;
+    case MsgType::kPaxosLearn:
+      ok = EncodeBody<PaxosLearnMsg>(m, &body);
+      break;
+    case MsgType::kPaxosPrepare:
+      ok = EncodeBody<PaxosPrepareMsg>(m, &body);
+      break;
+    case MsgType::kPaxosPromise:
+      ok = EncodeBody<PaxosPromiseMsg>(m, &body);
+      break;
+    case MsgType::kFillRequest:
+      ok = EncodeBody<FillRequestMsg>(m, &body);
+      break;
+    case MsgType::kFillReply:
+      ok = EncodeBody<FillReplyMsg>(m, &body);
+      break;
+    case MsgType::kXPrepare:
+      ok = EncodeBody<XPrepareMsg>(m, &body);
+      break;
+    case MsgType::kXPrepared:
+      ok = EncodeBody<XPreparedMsg>(m, &body);
+      break;
+    case MsgType::kXCommit:
+    case MsgType::kXAbort:
+      ok = EncodeBody<XCommitMsg>(m, &body);
+      break;
+    case MsgType::kFPropose:
+      ok = EncodeBody<FProposeMsg>(m, &body);
+      break;
+    case MsgType::kFAccept:
+      ok = EncodeBody<FAcceptMsg>(m, &body);
+      break;
+    case MsgType::kFCommit:
+      ok = EncodeBody<FCommitMsg>(m, &body);
+      break;
+    case MsgType::kCommitQuery:
+    case MsgType::kPreparedQuery:
+      ok = EncodeBody<QueryMsg>(m, &body);
+      break;
+    case MsgType::kExecOrder:
+      ok = EncodeBody<ExecOrderMsg>(m, &body);
+      break;
+    case MsgType::kExecReply:
+      ok = EncodeBody<ExecReplyMsg>(m, &body);
+      break;
+    default:
+      return false;
+  }
+  if (!ok) return false;
+  enc->PutU8(static_cast<uint8_t>(m.type));
+  enc->PutU32(m.wire_bytes);
+  enc->PutU16(m.sig_verify_ops);
+  enc->PutU32(static_cast<uint32_t>(body.size()));
+  enc->PutRaw(body.buffer().data(), body.size());
+  return true;
+}
+
+MessageRef DecodeMessage(Decoder* dec) {
+  uint8_t tag;
+  uint32_t wire_bytes;
+  uint16_t sig_ops;
+  uint32_t body_len;
+  if (!dec->GetU8(&tag) || !dec->GetU32(&wire_bytes) ||
+      !dec->GetU16(&sig_ops) || !dec->GetU32(&body_len)) {
+    return nullptr;
+  }
+  if (body_len > dec->remaining()) return nullptr;
+  // Decode the body inside its declared frame: the decoder must consume
+  // exactly body_len bytes, so a corrupted length field can neither leak
+  // into the next frame nor leave trailing garbage undetected.
+  Decoder body(dec->cursor(), body_len);
+  Decoder* outer = dec;
+  dec = &body;
+  MessageRef out;
+  switch (static_cast<MsgType>(tag)) {
+    case MsgType::kRequest:
+      out = DecodeBody<RequestMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kReply:
+      out = DecodeBody<ReplyMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kReplyCert:
+      out = DecodeBody<ReplyCertMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kPrePrepare:
+      out = DecodeBody<PrePrepareMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kPrepare:
+      out = DecodeBody<PrepareMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kCommit:
+      out = DecodeBody<CommitMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kViewChange:
+      out = DecodeBody<ViewChangeMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kNewView:
+      out = DecodeBody<NewViewMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kPaxosAccept:
+      out = DecodeBody<PaxosAcceptMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kPaxosAccepted:
+      out = DecodeBody<PaxosAcceptedMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kPaxosLearn:
+      out = DecodeBody<PaxosLearnMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kPaxosPrepare:
+      out = DecodeBody<PaxosPrepareMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kPaxosPromise:
+      out = DecodeBody<PaxosPromiseMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kFillRequest:
+      out = DecodeBody<FillRequestMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kFillReply:
+      out = DecodeBody<FillReplyMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kXPrepare:
+      out = DecodeBody<XPrepareMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kXPrepared:
+      out = DecodeBody<XPreparedMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kXCommit:
+    case MsgType::kXAbort: {
+      out = DecodeBody<XCommitMsg>(dec, wire_bytes, sig_ops);
+      if (out != nullptr && static_cast<MsgType>(tag) == MsgType::kXAbort) {
+        std::const_pointer_cast<Message>(out)->type = MsgType::kXAbort;
+      }
+      break;
+    }
+    case MsgType::kFPropose:
+      out = DecodeBody<FProposeMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kFAccept:
+      out = DecodeBody<FAcceptMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kFCommit:
+      out = DecodeBody<FCommitMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kCommitQuery:
+    case MsgType::kPreparedQuery:
+      out = DecodeBody<QueryMsg>(dec, wire_bytes, sig_ops,
+                                 static_cast<MsgType>(tag));
+      break;
+    case MsgType::kExecOrder:
+      out = DecodeBody<ExecOrderMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kExecReply:
+      out = DecodeBody<ExecReplyMsg>(dec, wire_bytes, sig_ops);
+      break;
+    default:
+      return nullptr;
+  }
+  if (out == nullptr || !body.Done()) return nullptr;
+  outer->Skip(body_len);
+  return out;
+}
+
+}  // namespace qanaat

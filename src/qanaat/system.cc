@@ -115,6 +115,12 @@ uint64_t QanaatSystem::TotalMeasuredCommits() const {
   return total;
 }
 
+uint64_t QanaatSystem::TotalAccepted() const {
+  uint64_t total = 0;
+  for (const auto& c : clients_) total += c->accepted();
+  return total;
+}
+
 Histogram QanaatSystem::MergedLatencies() const {
   Histogram h;
   for (const auto& c : clients_) h.Merge(c->latencies());

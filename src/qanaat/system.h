@@ -62,6 +62,8 @@ class QanaatSystem {
   /// Aggregate committed transactions across all client machines
   /// (measurement window only).
   uint64_t TotalMeasuredCommits() const;
+  /// Accepted (settled) transactions across all clients, whole run.
+  uint64_t TotalAccepted() const;
   Histogram MergedLatencies() const;
 
   /// Sum of committed txs over every cluster's node 0 ledger (sanity /

@@ -1,0 +1,334 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <set>
+
+namespace qanaat {
+
+namespace {
+const char* KindName(FaultAction::Kind k) {
+  switch (k) {
+    case FaultAction::Kind::kCrash:
+      return "crash";
+    case FaultAction::Kind::kRecover:
+      return "recover";
+    case FaultAction::Kind::kPartition:
+      return "partition";
+    case FaultAction::Kind::kHealPartition:
+      return "heal-partition";
+    case FaultAction::Kind::kHealAllPartitions:
+      return "heal-all";
+    case FaultAction::Kind::kLinkFault:
+      return "link-fault";
+    case FaultAction::Kind::kClearLinkFault:
+      return "clear-link-fault";
+    case FaultAction::Kind::kGlobalLinkFault:
+      return "global-fault";
+    case FaultAction::Kind::kClearLinkFaults:
+      return "clear-faults";
+    case FaultAction::Kind::kSetDropRate:
+      return "drop-rate";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string FaultAction::ToString() const {
+  std::string s = KindName(kind);
+  if (a != kInvalidNode) s += " a=" + std::to_string(a);
+  if (b != kInvalidNode) s += " b=" + std::to_string(b);
+  if (kind == Kind::kLinkFault || kind == Kind::kGlobalLinkFault) {
+    s += " drop=" + std::to_string(fault.drop) +
+         " dup=" + std::to_string(fault.duplicate) +
+         " reorder=" + std::to_string(fault.reorder);
+  }
+  if (kind == Kind::kSetDropRate) s += " p=" + std::to_string(drop_rate);
+  return s;
+}
+
+void FaultPlan::Add(SimTime at, FaultAction action) {
+  events.push_back(FaultEvent{at, std::move(action)});
+}
+
+void FaultPlan::Sort() {
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+}
+
+void FaultPlan::CrashWindow(SimTime from, SimTime to, NodeId n) {
+  FaultAction c;
+  c.kind = FaultAction::Kind::kCrash;
+  c.a = n;
+  Add(from, c);
+  FaultAction r;
+  r.kind = FaultAction::Kind::kRecover;
+  r.a = n;
+  Add(to, r);
+}
+
+void FaultPlan::PartitionWindow(SimTime from, SimTime to, NodeId a,
+                                NodeId b) {
+  FaultAction p;
+  p.kind = FaultAction::Kind::kPartition;
+  p.a = a;
+  p.b = b;
+  Add(from, p);
+  FaultAction h;
+  h.kind = FaultAction::Kind::kHealPartition;
+  h.a = a;
+  h.b = b;
+  Add(to, h);
+}
+
+void FaultPlan::LinkFaultWindow(SimTime from, SimTime to, NodeId a, NodeId b,
+                                const Network::LinkFault& f) {
+  FaultAction on;
+  on.kind = FaultAction::Kind::kLinkFault;
+  on.a = a;
+  on.b = b;
+  on.fault = f;
+  Add(from, on);
+  FaultAction off;
+  // Remove the rule rather than installing an all-zero one: a per-link
+  // rule shadows the default rule, so a zero rule would make this link
+  // immune to later network-wide fault windows.
+  off.kind = FaultAction::Kind::kClearLinkFault;
+  off.a = a;
+  off.b = b;
+  Add(to, off);
+}
+
+void FaultPlan::GlobalFaultWindow(SimTime from, SimTime to,
+                                  const Network::LinkFault& f) {
+  FaultAction on;
+  on.kind = FaultAction::Kind::kGlobalLinkFault;
+  on.fault = f;
+  Add(from, on);
+  FaultAction off;
+  off.kind = FaultAction::Kind::kGlobalLinkFault;
+  off.fault = Network::LinkFault{};
+  Add(to, off);
+}
+
+void FaultPlan::DropRateWindow(SimTime from, SimTime to, double rate) {
+  FaultAction on;
+  on.kind = FaultAction::Kind::kSetDropRate;
+  on.drop_rate = rate;
+  Add(from, on);
+  FaultAction off;
+  off.kind = FaultAction::Kind::kSetDropRate;
+  off.drop_rate = 0.0;
+  Add(to, off);
+}
+
+void FaultPlan::RegionOutage(SimTime from, SimTime to,
+                             const std::vector<NodeId>& region_nodes) {
+  for (NodeId n : region_nodes) CrashWindow(from, to, n);
+}
+
+void FaultPlan::HealEverything(SimTime at,
+                               const std::vector<NodeId>& crashed_nodes) {
+  for (NodeId n : crashed_nodes) {
+    FaultAction r;
+    r.kind = FaultAction::Kind::kRecover;
+    r.a = n;
+    Add(at, r);
+  }
+  FaultAction heal;
+  heal.kind = FaultAction::Kind::kHealAllPartitions;
+  Add(at, heal);
+  FaultAction clear;
+  clear.kind = FaultAction::Kind::kClearLinkFaults;
+  Add(at, clear);
+  FaultAction drop;
+  drop.kind = FaultAction::Kind::kSetDropRate;
+  drop.drop_rate = 0.0;
+  Add(at, drop);
+}
+
+bool FaultPlan::HasUntargetedLoss() const {
+  for (const auto& ev : events) {
+    switch (ev.action.kind) {
+      case FaultAction::Kind::kGlobalLinkFault:
+        if (ev.action.fault.Destructive()) return true;
+        break;
+      case FaultAction::Kind::kSetDropRate:
+        if (ev.action.drop_rate > 0) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> FaultPlan::DegradedNodes() const {
+  std::set<NodeId> out;
+  for (const auto& ev : events) {
+    switch (ev.action.kind) {
+      case FaultAction::Kind::kCrash:
+        out.insert(ev.action.a);
+        break;
+      case FaultAction::Kind::kPartition:
+        out.insert(ev.action.a);
+        out.insert(ev.action.b);
+        break;
+      case FaultAction::Kind::kLinkFault:
+        if (ev.action.fault.Destructive()) {
+          out.insert(ev.action.a);
+          out.insert(ev.action.b);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return std::vector<NodeId>(out.begin(), out.end());
+}
+
+std::string FaultPlan::Summary() const {
+  std::string s = "plan[" + std::to_string(events.size()) + "]";
+  for (const auto& ev : events) {
+    s += " @" + std::to_string(ev.at / kMillisecond) + "ms " +
+         ev.action.ToString() + ";";
+  }
+  return s;
+}
+
+FaultPlan MakeRandomPlan(uint64_t seed, const std::vector<CrashGroup>& groups,
+                         SimTime horizon, const ChaosProfile& profile) {
+  Rng rng(seed ^ 0xc4a05e1ab6f0ca75ULL);
+  FaultPlan plan;
+  std::vector<NodeId> victims;
+
+  // Partition partners come from the whole crashable universe, so cross-
+  // group (cross-cluster) partitions arise naturally.
+  std::vector<NodeId> universe;
+  for (const auto& g : groups) {
+    universe.insert(universe.end(), g.crashable.begin(), g.crashable.end());
+  }
+
+  auto window = [&](SimTime latest_start) {
+    SimTime len = profile.min_window;
+    if (profile.max_window > profile.min_window) {
+      len += static_cast<SimTime>(rng.Uniform(
+          static_cast<uint64_t>(profile.max_window - profile.min_window)));
+    }
+    SimTime start = static_cast<SimTime>(
+        rng.Uniform(static_cast<uint64_t>(std::max<SimTime>(latest_start, 1))));
+    return std::make_pair(start, std::min(start + len, horizon));
+  };
+
+  for (const auto& g : groups) {
+    // Up to max_faulty victims per group for the WHOLE run: a recovered
+    // replica may have missed committed decisions, so it stays degraded.
+    std::vector<NodeId> pool = g.crashable;
+    int nv = std::min<int>(g.max_faulty, static_cast<int>(pool.size()));
+    for (int i = 0; i < nv && !pool.empty(); ++i) {
+      size_t pick = rng.Uniform(pool.size());
+      NodeId v = pool[pick];
+      pool.erase(pool.begin() + static_cast<long>(pick));
+      victims.push_back(v);
+
+      if (profile.crashes) {
+        for (int c = 0; c < profile.crash_cycles; ++c) {
+          auto [from, to] = window(horizon * 3 / 4);
+          plan.CrashWindow(from, to, v);
+        }
+      }
+      if (profile.partitions && universe.size() > 1) {
+        NodeId partner = v;
+        while (partner == v) {
+          partner = universe[rng.Uniform(universe.size())];
+        }
+        auto [from, to] = window(horizon * 3 / 4);
+        plan.PartitionWindow(from, to, v, partner);
+      }
+    }
+  }
+
+  if (profile.duplication || profile.reordering) {
+    Network::LinkFault f;
+    f.duplicate = profile.duplication ? profile.dup : 0.0;
+    f.reorder = profile.reordering ? profile.reorder : 0.0;
+    f.reorder_delay_us = profile.reorder_delay_us;
+    int windows = 1 + static_cast<int>(rng.Uniform(2));
+    for (int i = 0; i < windows; ++i) {
+      auto [from, to] = window(horizon * 2 / 3);
+      plan.GlobalFaultWindow(from, to, f);
+    }
+  }
+  if (profile.loss > 0) {
+    auto [from, to] = window(horizon / 2);
+    plan.DropRateWindow(from, to, profile.loss);
+  }
+
+  plan.HealEverything(horizon, victims);
+  plan.Sort();
+  return plan;
+}
+
+FaultInjector::FaultInjector(Env* env, Network* net)
+    : Actor(env, "fault-injector"), net_(net) {}
+
+void FaultInjector::Install(FaultPlan plan) {
+  plan_ = std::move(plan);
+  for (size_t i = 0; i < plan_.events.size(); ++i) {
+    StartTimer(plan_.events[i].at - now(), kTagFault, i);
+  }
+}
+
+void FaultInjector::OnMessage(NodeId /*from*/, const MessageRef& /*msg*/) {}
+
+void FaultInjector::OnTimer(uint64_t tag, uint64_t payload) {
+  if (tag != kTagFault || payload >= plan_.events.size()) return;
+  Apply(plan_.events[payload].action);
+}
+
+void FaultInjector::Apply(const FaultAction& a) {
+  ++applied_;
+  net_->NoteTraceEvent((static_cast<uint64_t>(now()) << 12) ^
+                       (static_cast<uint64_t>(a.kind) << 56) ^
+                       (static_cast<uint64_t>(a.a) << 28) ^
+                       static_cast<uint64_t>(a.b));
+  env()->metrics.Inc(std::string("faults.") + KindName(a.kind));
+  switch (a.kind) {
+    case FaultAction::Kind::kCrash:
+      net_->actor(a.a)->Crash();
+      break;
+    case FaultAction::Kind::kRecover:
+      net_->actor(a.a)->Recover();
+      break;
+    case FaultAction::Kind::kPartition:
+      net_->Partition(a.a, a.b);
+      break;
+    case FaultAction::Kind::kHealPartition:
+      net_->HealPartition(a.a, a.b);
+      break;
+    case FaultAction::Kind::kHealAllPartitions:
+      net_->HealAllPartitions();
+      break;
+    case FaultAction::Kind::kLinkFault:
+      net_->SetLinkFaultBetween(a.a, a.b, a.fault);
+      break;
+    case FaultAction::Kind::kClearLinkFault:
+      net_->ClearLinkFaultBetween(a.a, a.b);
+      break;
+    case FaultAction::Kind::kGlobalLinkFault:
+      if (a.fault.Any()) {
+        net_->SetDefaultLinkFault(a.fault);
+      } else {
+        net_->ClearDefaultLinkFault();
+      }
+      break;
+    case FaultAction::Kind::kClearLinkFaults:
+      net_->ClearLinkFaults();
+      break;
+    case FaultAction::Kind::kSetDropRate:
+      net_->SetDropRate(a.drop_rate);
+      break;
+  }
+}
+
+}  // namespace qanaat

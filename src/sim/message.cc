@@ -16,6 +16,10 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kPaxosAccept: return "PAXOS_ACCEPT";
     case MsgType::kPaxosAccepted: return "PAXOS_ACCEPTED";
     case MsgType::kPaxosLearn: return "PAXOS_LEARN";
+    case MsgType::kPaxosPrepare: return "PAXOS_PREPARE";
+    case MsgType::kPaxosPromise: return "PAXOS_PROMISE";
+    case MsgType::kFillRequest: return "FILL_REQUEST";
+    case MsgType::kFillReply: return "FILL_REPLY";
     case MsgType::kXPrepare: return "X_PREPARE";
     case MsgType::kXPrepared: return "X_PREPARED";
     case MsgType::kXCommit: return "X_COMMIT";

@@ -27,6 +27,10 @@ enum class MsgType : uint8_t {
   kPaxosAccept,
   kPaxosAccepted,
   kPaxosLearn,
+  kPaxosPrepare,   // phase-1a: ballot takeover
+  kPaxosPromise,   // phase-1b: promise + accepted history
+  kFillRequest,    // gap catch-up: ask a peer for decided slots
+  kFillReply,      // gap catch-up: decided value + commit proof
   // Cross-cluster coordinator-based (paper Fig 5)
   kXPrepare,
   kXPrepared,

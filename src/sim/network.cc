@@ -4,6 +4,17 @@
 
 namespace qanaat {
 
+namespace {
+// SplitMix64 finalizer: used to fold trace words into the running hash so
+// single-bit differences avalanche.
+uint64_t MixWord(uint64_t h, uint64_t word) {
+  uint64_t z = h ^ (word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
 Network::Network(Env* env) : env_(env), rng_(env->rng.Fork()) {
   env_->net = this;
   rtt_.push_back({0});  // region 0, zero self-RTT
@@ -50,6 +61,71 @@ SimTime Network::LatencyBetween(int a, int b) {
   return base + jitter;
 }
 
+const Network::LinkFault* Network::FaultFor(NodeId from, NodeId to) const {
+  auto it = link_faults_.find({from, to});
+  if (it != link_faults_.end()) return &it->second;
+  if (have_default_fault_) return &default_fault_;
+  return nullptr;
+}
+
+void Network::SetLinkFault(NodeId from, NodeId to, const LinkFault& f) {
+  link_faults_[{from, to}] = f;
+}
+
+void Network::SetLinkFaultBetween(NodeId a, NodeId b, const LinkFault& f) {
+  SetLinkFault(a, b, f);
+  SetLinkFault(b, a, f);
+}
+
+void Network::ClearLinkFaultBetween(NodeId a, NodeId b) {
+  link_faults_.erase({a, b});
+  link_faults_.erase({b, a});
+}
+
+void Network::SetDefaultLinkFault(const LinkFault& f) {
+  default_fault_ = f;
+  have_default_fault_ = true;
+}
+
+void Network::ClearLinkFaults() {
+  link_faults_.clear();
+  have_default_fault_ = false;
+}
+
+void Network::NoteTraceEvent(uint64_t word) {
+  trace_hash_ = MixWord(trace_hash_, word);
+}
+
+void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
+                               MessageRef msg) {
+  auto link = std::make_pair(from, to);
+  auto [it, inserted] = last_arrival_.emplace(link, arrival);
+  if (!inserted) {
+    if (arrival < it->second) {
+      // This later-sent message overtakes an earlier one on the link.
+      ++reordered_;
+      env_->metrics.Inc("net.reordered");
+    }
+    it->second = std::max(it->second, arrival);
+  }
+  if (record_links_) delivered_links_.insert(link);
+  NoteTraceEvent((static_cast<uint64_t>(arrival) << 16) ^
+                 (static_cast<uint64_t>(from) << 40) ^
+                 (static_cast<uint64_t>(to) << 8) ^
+                 static_cast<uint64_t>(msg->type));
+  Actor* dst = actors_[to];
+  uint64_t dst_epoch = dst->epoch();
+  env_->sim.ScheduleAt(arrival,
+                       [dst, dst_epoch, arrival, from, m = std::move(msg)]() {
+                         // A message addressed to a previous life of the
+                         // node (it crashed while this was in flight) is
+                         // lost with the crashed process.
+                         if (dst->epoch() == dst_epoch) {
+                           dst->DeliverAt(arrival, from, m);
+                         }
+                       });
+}
+
 void Network::Send(NodeId from, NodeId to, MessageRef msg) {
   if (from == to) {
     // Self-delivery: skip the wire but still pay CPU cost.
@@ -62,24 +138,54 @@ void Network::Send(NodeId from, NodeId to, MessageRef msg) {
     return;
   }
   auto key = std::minmax(from, to);
-  if (partitions_.count({key.first, key.second})) return;
+  if (partitions_.count({key.first, key.second})) {
+    env_->metrics.Inc("net.partitioned");
+    return;
+  }
+  // Crash-stop endpoints are checked before any random draw: a blocked
+  // send must not consume fault randomness, or the post-recovery replay
+  // of a seed would diverge based on how many sends were blocked.
+  Actor* src = actors_[from];
+  Actor* dst = actors_[to];
+  if (src->crashed() || dst->crashed()) return;
+
+  const LinkFault* lf = FaultFor(from, to);
   if (drop_rate_ > 0 && rng_.NextDouble() < drop_rate_) {
     env_->metrics.Inc("net.dropped");
     return;
   }
-  Actor* src = actors_[from];
-  Actor* dst = actors_[to];
-  if (src->crashed() || dst->crashed()) return;
+  if (lf != nullptr && lf->drop > 0 && rng_.NextDouble() < lf->drop) {
+    env_->metrics.Inc("net.dropped");
+    return;
+  }
 
   SimTime wire = LatencyBetween(src->region(), dst->region());
   SimTime xmit = static_cast<SimTime>(static_cast<double>(msg->wire_bytes) /
                                       env_->costs.bandwidth_bytes_per_us);
   SimTime arrival = env_->sim.now() + wire + xmit;
+  bool duplicate = false;
+  if (lf != nullptr) {
+    arrival += lf->extra_delay_us;
+    duplicate = lf->duplicate > 0 && rng_.NextDouble() < lf->duplicate;
+    if (lf->reorder > 0 && lf->reorder_delay_us > 0 &&
+        rng_.NextDouble() < lf->reorder) {
+      arrival += 1 + static_cast<SimTime>(rng_.Uniform(
+                         static_cast<uint64_t>(lf->reorder_delay_us)));
+    }
+  }
   ++messages_sent_;
   bytes_sent_ += msg->wire_bytes;
-  env_->sim.ScheduleAt(arrival, [dst, arrival, from, m = std::move(msg)]() {
-    dst->DeliverAt(arrival, from, m);
-  });
+  if (duplicate) {
+    // The copy trails the original by a bounded random gap (e.g. a
+    // retransmission racing the original through another path).
+    SimTime gap =
+        1 + static_cast<SimTime>(rng_.Uniform(static_cast<uint64_t>(
+                std::max<SimTime>(lf->reorder_delay_us, 1))));
+    ++duplicated_;
+    env_->metrics.Inc("net.duplicated");
+    ScheduleDelivery(from, to, arrival + gap, msg);
+  }
+  ScheduleDelivery(from, to, arrival, std::move(msg));
 }
 
 void Network::Multicast(NodeId from, const std::vector<NodeId>& to,
@@ -116,14 +222,19 @@ void Actor::DeliverAt(SimTime arrival, NodeId from, MessageRef msg) {
   SimTime start = std::max(arrival, busy_until_);
   SimTime done = start + CostOf(*msg);
   busy_until_ = done;
-  env_->sim.ScheduleAt(done, [this, from, m = std::move(msg)]() {
-    if (!crashed_) OnMessage(from, m);
+  uint64_t e = epoch_;
+  env_->sim.ScheduleAt(done, [this, e, from, m = std::move(msg)]() {
+    // Epoch guard: work accepted before a crash must not complete in a
+    // recovered life.
+    if (!crashed_ && e == epoch_) OnMessage(from, m);
   });
 }
 
 void Actor::StartTimer(SimTime delay, uint64_t tag, uint64_t payload) {
-  env_->sim.Schedule(delay, [this, tag, payload]() {
-    if (!crashed_) OnTimer(tag, payload);
+  uint64_t e = epoch_;
+  env_->sim.Schedule(delay, [this, e, tag, payload]() {
+    // Epoch guard: timers armed before a crash die with that life.
+    if (!crashed_ && e == epoch_) OnTimer(tag, payload);
   });
 }
 

@@ -1,6 +1,7 @@
 #ifndef QANAAT_SIM_NETWORK_H_
 #define QANAAT_SIM_NETWORK_H_
 
+#include <map>
 #include <memory>
 #include <set>
 #include <utility>
@@ -20,8 +21,33 @@ class Actor;
 /// firewall's wiring constraint, paper §3.4: each filter has a physical
 /// connection only to the rows above/below, so a malicious execution node
 /// cannot reach clients at all).
+///
+/// Fault injection beyond the global drop rate is expressed as per-link
+/// (or default, all-link) `LinkFault` rules: independent drop, duplicate
+/// and reorder-delay coins plus a fixed extra latency. Rules are consulted
+/// only after the cheap deterministic checks (restriction, partition,
+/// crashed endpoints), so blocked sends never consume randomness and a
+/// seed replays bit-identically regardless of how many sends were blocked.
 class Network {
  public:
+  /// Per-link fault rule. All probabilities are independent coins drawn
+  /// per message; `reorder_delay_us` bounds the extra delay a reordered
+  /// (or duplicated) copy receives, which bounds how far delivery order
+  /// can diverge from send order.
+  struct LinkFault {
+    double drop = 0.0;       // loss probability
+    double duplicate = 0.0;  // probability of delivering a second copy
+    double reorder = 0.0;    // probability of an extra random delay
+    SimTime reorder_delay_us = 2000;
+    SimTime extra_delay_us = 0;  // fixed additional one-way latency
+
+    bool Destructive() const { return drop > 0.0; }
+    bool Any() const {
+      return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+             extra_delay_us > 0;
+    }
+  };
+
   explicit Network(Env* env);
 
   /// Adds a region; returns its id. Region 0 exists by default.
@@ -41,7 +67,7 @@ class Network {
   bool LinkAllowed(NodeId from, NodeId to) const;
 
   /// Unicast with latency + bandwidth + jitter. Silently drops if either
-  /// endpoint is crashed, the link is disallowed/partitioned, or the drop
+  /// endpoint is crashed, the link is disallowed/partitioned, or a drop
   /// coin fires.
   void Send(NodeId from, NodeId to, MessageRef msg);
   void Multicast(NodeId from, const std::vector<NodeId>& to, MessageRef msg);
@@ -52,12 +78,49 @@ class Network {
   void HealPartition(NodeId a, NodeId b);
   void HealAllPartitions();
 
+  /// Installs a fault rule on the directed link from -> to.
+  void SetLinkFault(NodeId from, NodeId to, const LinkFault& f);
+  /// Installs a fault rule on both directions between a and b.
+  void SetLinkFaultBetween(NodeId a, NodeId b, const LinkFault& f);
+  /// Removes the per-link rules between a and b (the link falls back to
+  /// the default rule, unlike installing an all-zero rule which shadows
+  /// it).
+  void ClearLinkFaultBetween(NodeId a, NodeId b);
+  /// Default rule for links without a specific one (whole-network chaos).
+  void SetDefaultLinkFault(const LinkFault& f);
+  void ClearDefaultLinkFault() { have_default_fault_ = false; }
+  /// Removes every per-link rule and the default rule.
+  void ClearLinkFaults();
+
+  /// Running hash over every scheduled delivery (time, endpoints, type)
+  /// and every fault event folded in via NoteTraceEvent. Two runs of the
+  /// same seed must produce the same value — the replayability anchor the
+  /// chaos harness asserts.
+  uint64_t trace_hash() const { return trace_hash_; }
+  void NoteTraceEvent(uint64_t word);
+
+  /// When enabled, records every (from, to) pair a message was actually
+  /// scheduled on, so an auditor can re-check the link restrictions post
+  /// hoc (firewall containment under fault injection).
+  void set_record_delivered_links(bool on) { record_links_ = on; }
+  const std::set<std::pair<NodeId, NodeId>>& delivered_links() const {
+    return delivered_links_;
+  }
+
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t blocked_sends() const { return blocked_sends_; }
+  uint64_t duplicated() const { return duplicated_; }
+  uint64_t reordered() const { return reordered_; }
 
  private:
   SimTime LatencyBetween(int region_a, int region_b);
+  const LinkFault* FaultFor(NodeId from, NodeId to) const;
+  /// Schedules one delivery at `arrival`, folding it into the trace hash
+  /// and detecting overtakes (a later-sent message scheduled to arrive
+  /// before an earlier-sent one on the same link).
+  void ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
+                        MessageRef msg);
 
   Env* env_;
   Rng rng_;
@@ -65,10 +128,20 @@ class Network {
   std::vector<std::vector<SimTime>> rtt_;  // region x region RTT (µs)
   std::vector<std::unique_ptr<std::set<NodeId>>> allowed_;  // per node
   std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::map<std::pair<NodeId, NodeId>, LinkFault> link_faults_;
+  LinkFault default_fault_;
+  bool have_default_fault_ = false;
   double drop_rate_ = 0.0;
+  bool record_links_ = false;
+  std::set<std::pair<NodeId, NodeId>> delivered_links_;
+  // Latest scheduled arrival per directed link, for overtake detection.
+  std::map<std::pair<NodeId, NodeId>, SimTime> last_arrival_;
+  uint64_t trace_hash_ = 0x51ed270b9f652295ULL;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t blocked_sends_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t reordered_ = 0;
 };
 
 /// Base class for every simulated node (ordering node, execution node,
@@ -79,6 +152,11 @@ class Network {
 /// CostOf(msg); the handler runs when processing completes. Queueing delay
 /// under load produces the saturation knees in the paper's
 /// throughput/latency plots.
+///
+/// Crash model: Crash() opens a new *epoch*. Timers armed and deliveries
+/// accepted in an earlier epoch are discarded even if the node has since
+/// Recover()ed — a recovered process has none of its predecessor's timers
+/// or half-processed messages (crash-stop semantics).
 class Actor {
  public:
   Actor(Env* env, std::string name, int region = 0);
@@ -90,10 +168,19 @@ class Actor {
   int region() const { return region_; }
   const std::string& name() const { return name_; }
   bool crashed() const { return crashed_; }
+  uint64_t epoch() const { return epoch_; }
 
-  /// Crash-stop the node (drops queued work) / bring it back.
-  void Crash() { crashed_ = true; }
-  void Recover() { crashed_ = false; }
+  /// Crash-stop the node (drops queued work and invalidates every timer
+  /// and in-flight delivery of the current life) / bring it back.
+  void Crash() {
+    crashed_ = true;
+    ++epoch_;
+    OnCrash();
+  }
+  void Recover() {
+    crashed_ = false;
+    busy_until_ = 0;  // the restarted process starts with an idle CPU
+  }
 
   /// Mark this node Byzantine for fault-injection runs; protocol
   /// subclasses consult this flag to misbehave.
@@ -103,6 +190,12 @@ class Actor {
   /// Called by the network at delivery time (after transport latency);
   /// enqueues CPU work.
   void DeliverAt(SimTime arrival, NodeId from, MessageRef msg);
+
+  /// Crash hook: subclasses drop volatile state a real process would
+  /// lose (pending batches, un-fired timer bookkeeping). Durable state —
+  /// the ledger, the store — survives, matching a process restart over
+  /// persistent storage.
+  virtual void OnCrash() {}
 
   /// Handler, runs after CPU processing completes.
   virtual void OnMessage(NodeId from, const MessageRef& msg) = 0;
@@ -117,7 +210,8 @@ class Actor {
   void Multicast(const std::vector<NodeId>& to, MessageRef msg) {
     env_->net->Multicast(id_, to, msg);
   }
-  /// Schedule OnTimer(tag, payload) after `delay`; fires unless crashed.
+  /// Schedule OnTimer(tag, payload) after `delay`; fires unless crashed
+  /// or armed in a previous life (pre-crash epoch).
   void StartTimer(SimTime delay, uint64_t tag, uint64_t payload = 0);
   /// Occupy the CPU for `d` more microseconds (e.g. executing a batch).
   void ChargeCpu(SimTime d) { busy_until_ += d; }
@@ -132,6 +226,7 @@ class Actor {
   NodeId id_;
   bool crashed_ = false;
   bool byzantine_ = false;
+  uint64_t epoch_ = 0;
   SimTime busy_until_ = 0;
 };
 

@@ -1,0 +1,200 @@
+// Deterministic chaos suite: seed-expanded fault schedules (crash/recover,
+// partitions, duplication, reordering, loss) against every protocol stack,
+// with the SafetyAuditor checking cross-replica agreement continuously and
+// at quiesce. Every run here is replayable: a red seed is a one-line
+// regression test (see the Replay suite and README "Fault model & chaos
+// testing").
+
+#include <gtest/gtest.h>
+
+#include "harness/chaos.h"
+#include "sim/faults.h"
+
+namespace qanaat {
+namespace {
+
+ChaosOptions CorpusOptions(ChaosStack stack, uint64_t seed) {
+  ChaosOptions o;
+  o.stack = stack;
+  o.seed = seed;
+  // Rotate protocol family and cross-cluster dimension with the seed so
+  // the corpus covers coordinator/flattened x intra/cross-shard paths.
+  o.family = (seed % 2 == 0) ? ProtocolFamily::kCoordinator
+                             : ProtocolFamily::kFlattened;
+  static const CrossKind kKinds[] = {
+      CrossKind::kIntraShardCrossEnterprise,
+      CrossKind::kCrossShardIntraEnterprise,
+      CrossKind::kCrossShardCrossEnterprise,
+  };
+  o.cross_kind = stack == ChaosStack::kFabric
+                     ? CrossKind::kIntraShardCrossEnterprise
+                     : kKinds[seed % 3];
+  o.cross_fraction = 0.25;
+  o.offered_tps = 300;
+  o.profile.dup = 0.03;
+  o.profile.reorder = 0.05;
+  // Every 4th seed adds untargeted message loss; those runs assert prefix
+  // agreement only (a recovered replica may stall), the rest also assert
+  // full post-heal convergence of all non-degraded replicas.
+  o.profile.loss = (seed % 4 == 0) ? 0.02 : 0.0;
+  return o;
+}
+
+class ChaosCorpus
+    : public ::testing::TestWithParam<std::tuple<ChaosStack, uint64_t>> {};
+
+TEST_P(ChaosCorpus, SafetyHoldsAndLivenessResumes) {
+  auto [stack, seed] = GetParam();
+  ChaosOptions opts = CorpusOptions(stack, seed);
+  ChaosReport r = RunChaos(opts);
+  EXPECT_TRUE(r.safety.ok())
+      << ChaosStackName(stack) << " seed " << seed << ": "
+      << r.safety.ToString() << "\n"
+      << r.plan_summary;
+  EXPECT_GT(r.faults_applied, 0u) << r.plan_summary;
+  // The corpus keeps duplication/reordering always on; make sure the
+  // injected faults actually bit.
+  EXPECT_GT(r.net_duplicated + r.net_reordered, 0u);
+  // Liveness: transactions keep settling after every fault healed.
+  EXPECT_TRUE(r.liveness_resumed)
+      << ChaosStackName(stack) << " seed " << seed << ": commits "
+      << r.commits_at_heal << " at heal, " << r.commits_total << " total";
+  EXPECT_GT(r.commits_total, 100u);
+  if (opts.profile.loss == 0.0 && r.safety.ok()) {
+    EXPECT_TRUE(r.convergence_checked);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedSweep, ChaosCorpus,
+    ::testing::Combine(::testing::Values(ChaosStack::kQanaatPbft,
+                                         ChaosStack::kQanaatPaxos,
+                                         ChaosStack::kFabric),
+                       ::testing::Range<uint64_t>(1, 21)),
+    [](const ::testing::TestParamInfo<ChaosCorpus::ParamType>& info) {
+      std::string stack;
+      switch (std::get<0>(info.param)) {
+        case ChaosStack::kQanaatPbft:
+          stack = "QanaatPbft";
+          break;
+        case ChaosStack::kQanaatPaxos:
+          stack = "QanaatPaxos";
+          break;
+        case ChaosStack::kFabric:
+          stack = "Fabric";
+          break;
+      }
+      return stack + "Seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------ replayability
+
+TEST(ChaosReplay, SameSeedSameTrace) {
+  for (uint64_t seed : {3u, 8u}) {
+    ChaosOptions opts = CorpusOptions(ChaosStack::kQanaatPbft, seed);
+    ChaosReport a = RunChaos(opts);
+    ChaosReport b = RunChaos(opts);
+    EXPECT_EQ(a.trace_hash, b.trace_hash) << "seed " << seed;
+    EXPECT_EQ(a.commits_total, b.commits_total);
+    EXPECT_EQ(a.faults_applied, b.faults_applied);
+    EXPECT_EQ(a.net_duplicated, b.net_duplicated);
+    EXPECT_EQ(a.net_reordered, b.net_reordered);
+  }
+}
+
+TEST(ChaosReplay, DifferentSeedsDiverge) {
+  ChaosReport a = RunChaos(CorpusOptions(ChaosStack::kQanaatPbft, 5));
+  ChaosReport b = RunChaos(CorpusOptions(ChaosStack::kQanaatPbft, 6));
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+// --------------------------------------------- firewall containment chaos
+
+TEST(ChaosFirewall, ByzantineExecutorContainedUnderChaos) {
+  ChaosOptions o = CorpusOptions(ChaosStack::kQanaatPbft, 11);
+  o.use_firewall = true;
+  o.byzantine_executor = true;
+  o.cross_kind = CrossKind::kIntraShardCrossEnterprise;
+  ChaosReport r = RunChaos(o);
+  // Corrupted replies never produce a bad certificate at a client, never
+  // escape the wiring, and never block progress (g+1 honest executors).
+  EXPECT_TRUE(r.safety.ok()) << r.safety.ToString() << "\n" << r.plan_summary;
+  EXPECT_TRUE(r.liveness_resumed);
+  EXPECT_GT(r.commits_total, 100u);
+}
+
+// ------------------------------------------------- targeted primary crash
+
+TEST(ChaosPrimaryCrash, PbftViewChangeRestoresLiveness) {
+  // Hand-written plan (not seed-expanded): kill cluster 0's primary under
+  // load and keep it down; the view change must hand leadership over and
+  // client retransmission must route the backlog to the new primary.
+  QanaatSystem::Options so;
+  so.params.num_enterprises = 2;
+  so.params.shards_per_enterprise = 2;
+  so.params.failure_model = FailureModel::kByzantine;
+  so.params.family = ProtocolFamily::kFlattened;
+  so.seed = 17;
+  QanaatSystem sys(std::move(so));
+  sys.net().set_record_delivered_links(true);
+
+  WorkloadParams wl;
+  wl.cross_fraction = 0.0;  // internal load only: isolates the view change
+  ClientMachine* c = sys.AddClient(wl, 400.0);
+  c->SetRetransmitTimeout(200 * kMillisecond);
+  c->Start(0, 1500 * kMillisecond, 0, 2 * kSecond);
+
+  NodeId primary = sys.directory().Cluster(0).InitialPrimary();
+  FaultPlan plan;
+  FaultAction crash;
+  crash.kind = FaultAction::Kind::kCrash;
+  crash.a = primary;
+  plan.Add(300 * kMillisecond, crash);
+
+  FaultInjector injector(&sys.env(), &sys.net());
+  injector.Install(std::move(plan));
+
+  uint64_t at_crash = 0;
+  sys.env().sim.ScheduleAt(301 * kMillisecond,
+                           [&]() { at_crash = sys.TotalAccepted(); });
+  sys.env().sim.Run(2 * kSecond);
+
+  EXPECT_GE(sys.env().metrics.Get("pbft.view_installed"), 3u)
+      << "every replica of cluster 0 should install the new view";
+  EXPECT_GT(sys.TotalAccepted(), at_crash + 50)
+      << "commits must resume under the new primary";
+  std::set<NodeId> degraded = {primary};
+  EXPECT_TRUE(SafetyAuditor::AuditQanaat(sys, /*full=*/true, &degraded).ok());
+}
+
+// ----------------------------------------- auditor catches real violations
+
+TEST(SafetyAuditorTest, FlagsDivergentReplicas) {
+  // Run a clean system, then tamper with one replica's committed block:
+  // the full audit must fail (hash-chain check), proving the auditor is
+  // not vacuously green.
+  QanaatSystem::Options so;
+  so.params.num_enterprises = 2;
+  so.params.shards_per_enterprise = 1;
+  so.params.failure_model = FailureModel::kCrash;
+  so.seed = 5;
+  QanaatSystem sys(std::move(so));
+  WorkloadParams wl;
+  wl.cross_fraction = 0.0;
+  ClientMachine* c = sys.AddClient(wl, 300.0);
+  c->Start(0, 500 * kMillisecond, 0, kSecond);
+  sys.env().sim.Run(kSecond);
+  ASSERT_TRUE(SafetyAuditor::AuditQanaat(sys, true, nullptr).ok());
+
+  const DagLedger& ledger = sys.ordering_node(0, 0)->exec_core().ledger();
+  ASSERT_GT(ledger.size(), 0u);
+  // Post-commit tampering with transaction content.
+  auto* block = const_cast<Block*>(ledger.entry(0).block.get());
+  ASSERT_FALSE(block->txs.empty());
+  block->txs[0].client_ts += 1;
+  block->txs[0].InvalidateDigest();
+  EXPECT_FALSE(SafetyAuditor::AuditQanaat(sys, true, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace qanaat

@@ -9,6 +9,7 @@
 #include "collections/tx_id.h"
 #include "common/enterprise_set.h"
 #include "common/rng.h"
+#include "consensus/batcher.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 #include "firewall/executor_core.h"
@@ -373,6 +374,108 @@ TEST(ZipfProperty, FrequenciesDecreaseWithRank) {
     EXPECT_GE(mid, tail);
   }
 }
+
+// ---------------------------------- Batcher under chaotic interleavings
+
+class BatcherProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatcherProperty, ConservationUnderRandomTimersAndCrashes) {
+  // Model a host that interleaves adds across flows with timers firing
+  // in arbitrary order, duplicated/stale timer tokens, forced flushes,
+  // and crash-style resets (all armed timers die, pending items drop).
+  // Invariants:
+  //  * every item is flushed at most once, in FIFO order per flow;
+  //  * after the final FlushAll, every item was either flushed or lost
+  //    to a crash reset — never silently retained;
+  //  * no batch exceeds max_batch; size-closed batches are exactly full;
+  //  * a crash-reset batcher keeps working (the armed-timer flags must
+  //    not outlive the timers, or timeout flushes stop forever).
+  Rng rng(GetParam());
+  BatcherConfig cfg;
+  cfg.max_batch = 1 + static_cast<int>(rng.Uniform(8));
+  cfg.flush_timeout_us = 1000;
+
+  std::vector<uint64_t> armed_tokens;  // live timers (die on crash)
+  std::map<int, std::vector<uint64_t>> flushed_per_flow;
+  std::set<uint64_t> flushed;
+  uint64_t lost_to_crash = 0;
+
+  Batcher<uint64_t, int> batcher(
+      cfg,
+      [&](SimTime /*delay*/, uint64_t token) { armed_tokens.push_back(token); },
+      [&](const int& flow, std::vector<uint64_t> items, BatchClose why) {
+        ASSERT_LE(items.size(), static_cast<size_t>(cfg.max_batch));
+        if (why == BatchClose::kSize) {
+          EXPECT_EQ(items.size(), static_cast<size_t>(cfg.max_batch));
+        }
+        for (uint64_t it : items) {
+          EXPECT_TRUE(flushed.insert(it).second) << "item flushed twice";
+          flushed_per_flow[flow].push_back(it);
+        }
+      });
+
+  uint64_t next_item = 0;
+  std::map<int, uint64_t> pending_count;
+  for (int step = 0; step < 3000; ++step) {
+    switch (rng.Uniform(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 4:
+      case 5: {  // add an item to a random flow
+        int flow = static_cast<int>(rng.Uniform(4));
+        batcher.Add(flow, next_item++);
+        break;
+      }
+      case 6: {  // fire a random live timer (arbitrary order)
+        if (armed_tokens.empty()) break;
+        size_t i = rng.Uniform(armed_tokens.size());
+        uint64_t tok = armed_tokens[i];
+        armed_tokens.erase(armed_tokens.begin() + static_cast<long>(i));
+        batcher.OnTimer(tok);
+        break;
+      }
+      case 7: {  // fire a stale/duplicated token: must be a no-op
+        batcher.OnTimer(rng.Next());
+        break;
+      }
+      case 8: {  // forced flush (leadership change)
+        if (rng.Uniform(4) == 0) batcher.FlushAll();
+        break;
+      }
+      case 9: {  // crash: timers die, pending items are lost
+        if (rng.Uniform(8) != 0) break;
+        uint64_t pending = batcher.items_in() - flushed.size() -
+                           lost_to_crash;
+        lost_to_crash += pending;
+        armed_tokens.clear();
+        batcher.Reset();
+        break;
+      }
+    }
+  }
+  // Quiesce: fire every remaining timer, then force-flush.
+  for (uint64_t tok : armed_tokens) batcher.OnTimer(tok);
+  batcher.FlushAll();
+
+  // Conservation: in = flushed + lost.
+  EXPECT_EQ(batcher.items_in(), flushed.size() + lost_to_crash);
+  // FIFO per flow.
+  for (const auto& [flow, items] : flushed_per_flow) {
+    for (size_t i = 1; i < items.size(); ++i) {
+      EXPECT_LT(items[i - 1], items[i]) << "flow " << flow
+                                        << " flushed out of order";
+    }
+  }
+  // The batcher still works after everything above.
+  uint64_t before = batcher.batches_closed();
+  for (int i = 0; i < cfg.max_batch; ++i) batcher.Add(0, next_item++);
+  EXPECT_EQ(batcher.batches_closed(), before + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatcherProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 // ------------------------------------------------- TxId predicates
 

@@ -252,5 +252,141 @@ TEST(ActorTimerTest, CrashedActorTimersDontFire) {
   EXPECT_TRUE(t.fired.empty());
 }
 
+// ------------------------------------------------ crash epochs (recovery)
+
+TEST(ActorEpochTest, PreCrashTimerDoesNotFireAfterRecovery) {
+  // Regression: a timer armed before Crash() must not fire in the
+  // recovered life, even though the node is up again when it expires.
+  NetFixture f;
+  TimerActor t(&f.env);
+  t.Arm(100, 7, 1);
+  f.env.sim.Schedule(10, [&] { t.Crash(); });
+  f.env.sim.Schedule(20, [&] { t.Recover(); });
+  f.env.sim.RunAll();
+  EXPECT_TRUE(t.fired.empty());
+  // A timer armed in the new life fires normally.
+  t.Arm(50, 8, 2);
+  f.env.sim.RunAll();
+  ASSERT_EQ(t.fired.size(), 1u);
+  EXPECT_EQ(t.fired[0].first, 8u);
+}
+
+TEST(ActorEpochTest, InFlightDeliveryFromPreviousLifeDiscarded) {
+  // A message in flight while the destination crashes is lost with that
+  // life, even when it would arrive after recovery.
+  NetFixture f;
+  f.env.costs.jitter_us = 0;  // arrival exactly at lan latency (250us)
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.Schedule(100, [&] { b.Crash(); });
+  f.env.sim.Schedule(150, [&] { b.Recover(); });
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 0);
+  // Messages sent to the recovered life are delivered.
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 1);
+}
+
+TEST(ActorEpochTest, ProcessingInterruptedByCrashNeverCompletes) {
+  // A message whose CPU processing spans a crash must not invoke the
+  // handler after recovery (the process that was computing it is gone).
+  NetFixture f;
+  f.env.costs.jitter_us = 0;
+  f.env.costs.base_proc_us = 200;  // arrival 250, handler would run at 450
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.Schedule(300, [&] { b.Crash(); });
+  f.env.sim.Schedule(350, [&] { b.Recover(); });
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 0);
+}
+
+// -------------------------------------- fault randomness determinism
+
+TEST(NetworkTest, BlockedSendsDoNotConsumeFaultRandomness) {
+  // Regression: sends blocked by a crashed endpoint must not draw the
+  // drop coin, or replays would diverge based on how many sends were
+  // blocked. Two runs differing only in extra sends to a crashed node
+  // must deliver the same messages at the same times.
+  auto run = [](bool with_blocked_sends) {
+    Env env(123);
+    Network net(&env);
+    EchoActor a(&env, 0), b(&env, 0), dead(&env, 0);
+    dead.Crash();
+    net.SetDropRate(0.3);
+    for (int i = 0; i < 50; ++i) {
+      if (with_blocked_sends) {
+        net.Send(a.id(), dead.id(), MakeMsg());  // must be side-effect free
+      }
+      net.Send(a.id(), b.id(), MakeMsg());
+    }
+    env.sim.RunAll();
+    return std::make_pair(b.received, b.last_time);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// ------------------------------------------- per-link fault injection
+
+TEST(NetworkTest, LinkFaultDuplicatesMessages) {
+  NetFixture f;
+  Network::LinkFault lf;
+  lf.duplicate = 1.0;
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  f.net.SetLinkFault(a.id(), b.id(), lf);
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 2);
+  EXPECT_EQ(f.net.duplicated(), 1u);
+  EXPECT_EQ(f.env.metrics.Get("net.duplicated"), 1u);
+}
+
+TEST(NetworkTest, LinkFaultReordersMessages) {
+  // With an aggressive reorder rule, some later-sent messages overtake
+  // earlier ones; the metric counts the overtakes.
+  NetFixture f;
+  f.env.costs.jitter_us = 0;
+  Network::LinkFault lf;
+  lf.reorder = 1.0;
+  lf.reorder_delay_us = 5000;
+  EchoActor a(&f.env, 0), b(&f.env, 0);
+  f.net.SetDefaultLinkFault(lf);
+  for (int i = 0; i < 30; ++i) f.net.Send(a.id(), b.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 30);  // reordering delays, never loses
+  EXPECT_GT(f.net.reordered(), 0u);
+}
+
+TEST(NetworkTest, LinkFaultDropIsPerLink) {
+  NetFixture f;
+  Network::LinkFault lf;
+  lf.drop = 1.0;
+  EchoActor a(&f.env, 0), b(&f.env, 0), c(&f.env, 0);
+  f.net.SetLinkFault(a.id(), b.id(), lf);
+  f.net.Send(a.id(), b.id(), MakeMsg());
+  f.net.Send(a.id(), c.id(), MakeMsg());
+  f.env.sim.RunAll();
+  EXPECT_EQ(b.received, 0);  // faulted link loses everything
+  EXPECT_EQ(c.received, 1);  // other links unaffected
+}
+
+TEST(NetworkTest, TraceHashIsDeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    Env env(seed);
+    Network net(&env);
+    EchoActor a(&env, 0), b(&env, 0);
+    Network::LinkFault lf;
+    lf.duplicate = 0.2;
+    lf.reorder = 0.3;
+    net.SetDefaultLinkFault(lf);
+    for (int i = 0; i < 40; ++i) net.Send(a.id(), b.id(), MakeMsg());
+    env.sim.RunAll();
+    return net.trace_hash();
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
 }  // namespace
 }  // namespace qanaat
