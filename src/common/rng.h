@@ -5,14 +5,21 @@
 
 namespace qanaat {
 
+/// SplitMix64 finalizer: full-avalanche 64-bit mix. The one shared
+/// implementation behind every hash functor, trace-hash fold and
+/// derived-digest lane in the tree — keep it here so a constant tweak
+/// cannot desynchronize subsystems.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// SplitMix64 — used to expand a single user seed into per-component
 /// streams so components stay decoupled (adding one does not perturb the
 /// randomness of others).
 inline uint64_t SplitMix64(uint64_t& state) {
-  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return Mix64(state += 0x9e3779b97f4a7c15ULL);
 }
 
 /// xoshiro256** deterministic PRNG. One instance per simulation component;

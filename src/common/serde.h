@@ -14,6 +14,11 @@ namespace qanaat {
 /// this so digests and signatures cover a canonical byte representation.
 class Encoder {
  public:
+  // One up-front reservation covers almost every message/digest encode;
+  // byte-wise growth from an empty vector was a measurable share of the
+  // sim hot path (several reallocations per encoded message).
+  Encoder() { buf_.reserve(128); }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU16(uint16_t v) { PutLE(v); }
   void PutU32(uint32_t v) { PutLE(v); }

@@ -1,8 +1,10 @@
 #ifndef QANAAT_CONSENSUS_ENGINE_H_
 #define QANAAT_CONSENSUS_ENGINE_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "consensus/value.h"
@@ -10,6 +12,39 @@
 #include "sim/message.h"
 
 namespace qanaat {
+
+/// Per-slot vote bookkeeping (node -> signature). Vote sets are tiny
+/// (bounded by cluster size) and sit on the per-message hot path, so a
+/// sorted flat vector replaces the std::map it grew from; iteration stays
+/// in ascending NodeId order, byte-identical to the tree it replaced
+/// (commit proofs and fill replies serialize votes in that order).
+class VoteSet {
+ public:
+  /// Inserts or overwrites `node`'s vote.
+  void Put(NodeId node, const Signature& sig) {
+    auto it = std::lower_bound(
+        votes_.begin(), votes_.end(), node,
+        [](const std::pair<NodeId, Signature>& v, NodeId n) {
+          return v.first < n;
+        });
+    if (it != votes_.end() && it->first == node) {
+      it->second = sig;
+      return;
+    }
+    votes_.insert(it, {node, sig});
+  }
+
+  size_t size() const { return votes_.size(); }
+  bool empty() const { return votes_.empty(); }
+  void clear() { votes_.clear(); }
+  /// Entries in ascending NodeId order.
+  const std::vector<std::pair<NodeId, Signature>>& entries() const {
+    return votes_;
+  }
+
+ private:
+  std::vector<std::pair<NodeId, Signature>> votes_;
+};
 
 /// Callbacks wiring a consensus engine into its hosting actor (an
 /// ordering node). The engine itself is transport-agnostic; the host

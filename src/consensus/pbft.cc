@@ -7,7 +7,9 @@ namespace qanaat {
 PbftEngine::PbftEngine(EngineContext ctx, int f, SimTime base_timeout_us)
     : InternalConsensus(std::move(ctx)),
       f_(f),
-      base_timeout_(base_timeout_us) {}
+      base_timeout_(base_timeout_us) {
+  slots_.reserve(1 << 12);
+}
 
 Sha256Digest PbftEngine::SignableDigest(
     ViewNo v, uint64_t slot, const Sha256Digest& value_digest) const {
@@ -82,9 +84,9 @@ void PbftEngine::StartSlot(const ConsensusValue& v) {
   my_open_slots_.insert(slot);
   SendPrePrepare(slot, st);
   // The primary's own PREPARE is implicit in the PRE-PREPARE.
-  st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
-      ctx_.self, SignableDigest(view_, slot, st.digest));
-  ArmSlotTimer(slot);
+  st.prepares.Put(ctx_.self, ctx_.env->keystore.Sign(
+      ctx_.self, SignableDigest(view_, slot, st.digest)));
+  ArmSlotTimer(slot, st);
 }
 
 void PbftEngine::DrainProposeQueue() {
@@ -96,8 +98,7 @@ void PbftEngine::DrainProposeQueue() {
   }
 }
 
-void PbftEngine::ArmSlotTimer(uint64_t slot) {
-  SlotState& st = slots_[slot];
+void PbftEngine::ArmSlotTimer(uint64_t slot, SlotState& st) {
   if (st.timer_armed || st.committed) return;
   st.timer_armed = true;
   // Exponential backoff on consecutive view changes (§4.3.4).
@@ -168,15 +169,24 @@ void PbftEngine::StartViewChange(ViewNo target, bool lone_suspicion) {
   auto vc = std::make_shared<ViewChangeMsg>();
   vc->new_view = target;
   vc->last_delivered = last_delivered_;
-  for (const auto& [slot, st] : slots_) {
-    if (st.prepared && !st.delivered) {
-      PreparedProof p;
-      p.slot = slot;
-      p.view = st.view;
-      p.value = st.value;
-      p.value_digest = st.digest;
-      vc->prepared.push_back(std::move(p));
+  // Gather prepared slots in ascending slot order: slots_ is a hash map,
+  // but the emitted proof list must keep the deterministic order the old
+  // ordered map produced (message contents feed the replay trace).
+  std::vector<const std::pair<const uint64_t, SlotState>*> prepared_slots;
+  for (const auto& entry : slots_) {
+    if (entry.second.prepared && !entry.second.delivered) {
+      prepared_slots.push_back(&entry);
     }
+  }
+  std::sort(prepared_slots.begin(), prepared_slots.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : prepared_slots) {
+    PreparedProof p;
+    p.slot = entry->first;
+    p.view = entry->second.view;
+    p.value = entry->second.value;
+    p.value_digest = entry->second.digest;
+    vc->prepared.push_back(std::move(p));
   }
   vc->sig = ctx_.env->keystore.Sign(
       ctx_.self, SignableDigest(target, 0, Sha256::Hash("view-change")));
@@ -257,8 +267,8 @@ void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
   st.have_preprepare = true;
   // The primary's pre-prepare doubles as its prepare vote (its signature
   // covers the same ⟨view, slot, digest⟩ tuple).
-  st.prepares[from] = m.sig;
-  ArmSlotTimer(m.slot);
+  st.prepares.Put(from, m.sig);
+  ArmSlotTimer(m.slot, st);
 
   auto prep = std::make_shared<PrepareMsg>();
   prep->view = m.view;
@@ -267,8 +277,8 @@ void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
   prep->sig = ctx_.env->keystore.Sign(
       ctx_.self, SignableDigest(m.view, m.slot, m.value_digest));
   ctx_.broadcast(prep);
-  st.prepares[ctx_.self] = prep->sig;
-  MaybePrepared(m.slot);
+  st.prepares.Put(ctx_.self, prep->sig);
+  MaybePrepared(m.slot, st);
 }
 
 void PbftEngine::HandlePrepare(NodeId from, const PrepareMsg& m) {
@@ -286,13 +296,13 @@ void PbftEngine::HandlePrepare(NodeId from, const PrepareMsg& m) {
     // pre-prepare arrives (mismatched votes simply never quorum).
     st.digest = m.value_digest;
   }
-  st.prepares[from] = m.sig;
-  ArmSlotTimer(m.slot);  // liveness: a vote for an unknown slot starts a timer
-  MaybePrepared(m.slot);
+  st.prepares.Put(from, m.sig);
+  // Liveness: a vote for an unknown slot starts a timer.
+  ArmSlotTimer(m.slot, st);
+  MaybePrepared(m.slot, st);
 }
 
-void PbftEngine::MaybePrepared(uint64_t slot) {
-  SlotState& st = slots_[slot];
+void PbftEngine::MaybePrepared(uint64_t slot, SlotState& st) {
   if (st.prepared || !st.have_preprepare) return;
   // PBFT: pre-prepare + 2f matching prepares (self's prepare included in
   // the map; primary's pre-prepare counts as its prepare).
@@ -305,8 +315,8 @@ void PbftEngine::MaybePrepared(uint64_t slot) {
   c->sig = ctx_.env->keystore.Sign(ctx_.self,
                                    SignableDigest(st.view, slot, st.digest));
   ctx_.broadcast(c);
-  st.commits[ctx_.self] = c->sig;
-  MaybeCommitted(slot);
+  st.commits.Put(ctx_.self, c->sig);
+  MaybeCommitted(slot, st);
 }
 
 void PbftEngine::HandleCommit(NodeId from, const CommitMsg& m) {
@@ -318,13 +328,12 @@ void PbftEngine::HandleCommit(NodeId from, const CommitMsg& m) {
   }
   SlotState& st = slots_[m.slot];
   if (st.have_preprepare && st.digest != m.value_digest) return;
-  st.commits[from] = m.sig;
-  ArmSlotTimer(m.slot);
-  MaybeCommitted(m.slot);
+  st.commits.Put(from, m.sig);
+  ArmSlotTimer(m.slot, st);
+  MaybeCommitted(m.slot, st);
 }
 
-void PbftEngine::MaybeCommitted(uint64_t slot) {
-  SlotState& st = slots_[slot];
+void PbftEngine::MaybeCommitted(uint64_t slot, SlotState& st) {
   if (st.committed || !st.prepared) return;
   if (st.commits.size() < Quorum()) return;
   st.committed = true;
@@ -367,7 +376,7 @@ void PbftEngine::HandleFillRequest(NodeId from, const FillRequestMsg& m) {
     fr->slot = slot;
     fr->view = st.view;
     fr->value = st.value;
-    for (const auto& [node, sig] : st.commits) {
+    for (const auto& [node, sig] : st.commits.entries()) {
       fr->commit_proof.push_back(sig);
     }
     fr->wire_bytes = 96 + st.value.WireSize() +
@@ -405,7 +414,7 @@ void PbftEngine::HandleFillReply(NodeId from, const FillReplyMsg& m) {
   st.have_preprepare = true;
   st.prepared = true;
   st.committed = true;
-  for (const auto& sig : m.commit_proof) st.commits[sig.signer] = sig;
+  for (const auto& sig : m.commit_proof) st.commits.Put(sig.signer, sig);
   max_committed_ = std::max(max_committed_, m.slot);
   my_open_slots_.erase(m.slot);
   DeliverReady();
@@ -416,7 +425,9 @@ std::vector<Signature> PbftEngine::CommitProof(uint64_t slot) const {
   std::vector<Signature> out;
   auto it = slots_.find(slot);
   if (it == slots_.end()) return out;
-  for (const auto& [node, sig] : it->second.commits) out.push_back(sig);
+  for (const auto& [node, sig] : it->second.commits.entries()) {
+    out.push_back(sig);
+  }
   return out;
 }
 
@@ -520,9 +531,9 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       st.have_preprepare = true;
       my_open_slots_.insert(p.slot);
       SendPrePrepare(p.slot, st);
-      st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
-          ctx_.self, SignableDigest(view_, p.slot, st.digest));
-      ArmSlotTimer(p.slot);
+      st.prepares.Put(ctx_.self, ctx_.env->keystore.Sign(
+          ctx_.self, SignableDigest(view_, p.slot, st.digest)));
+      ArmSlotTimer(p.slot, st);
     }
     // Fill abandoned slots (proposed in the old view but prepared
     // nowhere) with no-ops so later slots can deliver.
@@ -537,9 +548,9 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       st.have_preprepare = true;
       my_open_slots_.insert(slot);
       SendPrePrepare(slot, st);
-      st.prepares[ctx_.self] = ctx_.env->keystore.Sign(
-          ctx_.self, SignableDigest(view_, slot, st.digest));
-      ArmSlotTimer(slot);
+      st.prepares.Put(ctx_.self, ctx_.env->keystore.Sign(
+          ctx_.self, SignableDigest(view_, slot, st.digest)));
+      ArmSlotTimer(slot, st);
     }
   } else {
     // Replicas accept the re-proposals as fresh pre-prepares in the new
@@ -558,8 +569,8 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       prep->sig = ctx_.env->keystore.Sign(
           ctx_.self, SignableDigest(view_, p.slot, p.value_digest));
       ctx_.broadcast(prep);
-      st.prepares[ctx_.self] = prep->sig;
-      ArmSlotTimer(p.slot);
+      st.prepares.Put(ctx_.self, prep->sig);
+      ArmSlotTimer(p.slot, st);
     }
   }
   // Queued proposals were accepted in an earlier view; even if this node

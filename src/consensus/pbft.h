@@ -4,6 +4,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "consensus/engine.h"
@@ -67,8 +68,8 @@ class PbftEngine : public InternalConsensus {
     ConsensusValue value;
     Sha256Digest digest;
     bool have_preprepare = false;
-    std::map<NodeId, Signature> prepares;  // matching digest only
-    std::map<NodeId, Signature> commits;
+    VoteSet prepares;  // matching digest only
+    VoteSet commits;
     bool prepared = false;
     bool committed = false;
     bool delivered = false;
@@ -98,8 +99,8 @@ class PbftEngine : public InternalConsensus {
   /// stall forever and permanently shrink the live quorum.
   void MaybeRequestFill();
 
-  void MaybePrepared(uint64_t slot);
-  void MaybeCommitted(uint64_t slot);
+  void MaybePrepared(uint64_t slot, SlotState& st);
+  void MaybeCommitted(uint64_t slot, SlotState& st);
   void DeliverReady();
   bool AtPipelineCap() const {
     return ctx_.pipeline_depth > 0 &&
@@ -107,7 +108,7 @@ class PbftEngine : public InternalConsensus {
   }
   void StartSlot(const ConsensusValue& v);
   void DrainProposeQueue();
-  void ArmSlotTimer(uint64_t slot);
+  void ArmSlotTimer(uint64_t slot, SlotState& st);
   void StartViewChange(ViewNo target, bool lone_suspicion);
   void SendPrePrepare(uint64_t slot, SlotState& st);
 
@@ -125,7 +126,12 @@ class PbftEngine : public InternalConsensus {
   uint64_t view_change_count_ = 0;
   bool in_view_change_ = false;
   bool equivocate_ = false;
-  std::map<uint64_t, SlotState> slots_;
+  // Slot states live in a flat hash map — per-message handlers touch a
+  // slot several times, and runs accumulate tens of thousands of slots.
+  // The rare paths that need slots in order (view change) gather and
+  // sort the keys so emitted message contents keep the exact order the
+  // ordered map produced.
+  std::unordered_map<uint64_t, SlotState> slots_;
   // Pipelining: slots we proposed that have not committed yet, and
   // proposals queued behind the pipeline-depth cap.
   std::set<uint64_t> my_open_slots_;

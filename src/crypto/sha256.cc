@@ -144,4 +144,17 @@ Sha256Digest Sha256::Hash(const void* data, size_t len) {
   return h.Finalize();
 }
 
+Sha256Digest Sha256::CompressBlock(const uint8_t block[64]) {
+  Sha256 h;
+  h.ProcessBlock(block);
+  Sha256Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out.bytes[i * 4] = static_cast<uint8_t>(h.h_[i] >> 24);
+    out.bytes[i * 4 + 1] = static_cast<uint8_t>(h.h_[i] >> 16);
+    out.bytes[i * 4 + 2] = static_cast<uint8_t>(h.h_[i] >> 8);
+    out.bytes[i * 4 + 3] = static_cast<uint8_t>(h.h_[i]);
+  }
+  return out;
+}
+
 }  // namespace qanaat

@@ -42,6 +42,11 @@ class Sha256 {
 
   /// One-shot convenience.
   static Sha256Digest Hash(const void* data, size_t len);
+  /// Single raw compression of exactly one 64-byte block from the IV
+  /// (Davies–Meyer style, no length padding). Half the cost of Hash()
+  /// for 64-byte inputs; used by the Merkle tree to combine two child
+  /// digests, where the input length is fixed so padding adds nothing.
+  static Sha256Digest CompressBlock(const uint8_t block[64]);
   static Sha256Digest Hash(const std::string& s) {
     return Hash(s.data(), s.size());
   }

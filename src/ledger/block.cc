@@ -1,7 +1,10 @@
 #include "ledger/block.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
+
+#include "common/rng.h"
 
 namespace qanaat {
 
@@ -16,14 +19,25 @@ void Block::Seal() {
 
 Sha256Digest Block::Digest() const {
   if (!digest_valid_) {
-    Encoder enc;
-    id.EncodeTo(&enc);
-    enc.PutU32(attempt);
-    enc.PutRaw(tx_root.bytes.data(), tx_root.bytes.size());
-    digest_cache_ = Sha256::Hash(enc.buffer());
+    digest_cache_ = RecomputeDigest(tx_root);
     digest_valid_ = true;
   }
   return digest_cache_;
+}
+
+Sha256Digest Block::RecomputeTxRoot() const {
+  std::vector<Sha256Digest> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.RecomputeDigest());
+  return MerkleTree::RootOf(leaves);
+}
+
+Sha256Digest Block::RecomputeDigest(const Sha256Digest& root) const {
+  Encoder enc;
+  id.EncodeTo(&enc);
+  enc.PutU32(attempt);
+  enc.PutRaw(root.bytes.data(), root.bytes.size());
+  return Sha256::Hash(enc.buffer());
 }
 
 uint32_t Block::WireSize() const {
@@ -73,20 +87,30 @@ bool QuorumOfValidSigs(const KeyStore& ks, const Sha256Digest& digest,
 }
 }  // namespace
 
+Sha256Digest DeriveDigest(uint64_t salt, uint64_t a, uint64_t b,
+                          const Sha256Digest& parent) {
+  uint64_t w[4];
+  std::memcpy(w, parent.bytes.data(), sizeof(w));
+  uint64_t lo = Mix64(salt ^ 0x51ed270b9f652295ULL) ^ Mix64(a);
+  uint64_t hi = Mix64(salt + 0x9e3779b97f4a7c15ULL) ^ Mix64(~b);
+  for (int k = 0; k < 4; ++k) {
+    lo = Mix64(lo ^ w[k]);
+    hi = Mix64(hi + w[k] + 0x9e3779b97f4a7c15ULL * (k + 1));
+  }
+  uint64_t out[4] = {Mix64(lo ^ (hi >> 32)), Mix64(hi ^ (lo << 32)),
+                     Mix64(lo + hi + a), Mix64(lo ^ hi ^ b)};
+  Sha256Digest d;
+  std::memcpy(d.bytes.data(), out, sizeof(out));
+  return d;
+}
+
 Sha256Digest ValueDigestFor(uint8_t kind, const Sha256Digest& block_digest) {
-  Encoder enc;
-  enc.PutU8(kind);
-  enc.PutRaw(block_digest.bytes.data(), block_digest.bytes.size());
-  return Sha256::Hash(enc.buffer());
+  return DeriveDigest(0x56444947u /* "VDIG" */, kind, 0, block_digest);
 }
 
 Sha256Digest ConsensusSignable(ViewNo view, uint64_t slot,
                                const Sha256Digest& value_digest) {
-  Encoder enc;
-  enc.PutU64(view);
-  enc.PutU64(slot);
-  enc.PutRaw(value_digest.bytes.data(), value_digest.bytes.size());
-  return Sha256::Hash(enc.buffer());
+  return DeriveDigest(0x43534947u /* "CSIG" */, view, slot, value_digest);
 }
 
 Sha256Digest CommitCertificate::CoveredDigest() const {

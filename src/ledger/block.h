@@ -44,8 +44,21 @@ struct Block {
   void Seal();
 
   /// Digest covering id + tx_root: what consensus orders and commit
-  /// certificates sign. Memoized by Seal().
+  /// certificates sign. Memoized by Seal(); blocks are immutable once
+  /// sealed, so the hot paths (consensus, certificates, audits) reuse
+  /// the cached value the way Transaction::Digest() does.
   Sha256Digest Digest() const;
+
+  /// Audit helpers: recompute tamper-evidence from canonical bytes,
+  /// bypassing every memoized digest and without mutating shared state.
+  /// RecomputeTxRoot() re-hashes every transaction body and rebuilds the
+  /// Merkle root; RecomputeDigest(root) re-derives the block digest a
+  /// certificate must cover, given that recomputed root.
+  Sha256Digest RecomputeTxRoot() const;
+  Sha256Digest RecomputeDigest(const Sha256Digest& root) const;
+  /// Drops the memoized digest after in-place mutation (tests, Byzantine
+  /// models); the next Digest() recomputes from the current contents.
+  void InvalidateDigest() const { digest_valid_ = false; }
 
   uint32_t WireSize() const;
   size_t tx_count() const { return txs.size(); }
@@ -63,13 +76,26 @@ struct Block {
 
 using BlockPtr = std::shared_ptr<const Block>;
 
-/// Digest of a consensus value: H(kind ‖ block digest). Defined here so
-/// commit certificates can be verified by parties outside the consensus
-/// engine (filters, other clusters) from the block digest alone.
+/// Derives a 256-bit digest from (salt, a, b, parent digest) with two
+/// lanes of chained SplitMix64 finalizers. The protocol-internal digest
+/// derivations below (value digests, consensus signables, vote signables)
+/// use this instead of an inner SHA-256: they only ever feed equality
+/// checks and KeyStore sign/verify, both sides derive them with the same
+/// deterministic function, and unforgeability still rests entirely on the
+/// KeyStore's secret key — so the substitution argument of DESIGN.md §2
+/// is unchanged while the sim-core hot path drops most of its SHA cost.
+/// Content digests (transactions, blocks, results) remain real SHA-256.
+Sha256Digest DeriveDigest(uint64_t salt, uint64_t a, uint64_t b,
+                          const Sha256Digest& parent);
+
+/// Digest of a consensus value: derived from (kind ‖ block digest).
+/// Defined here so commit certificates can be verified by parties outside
+/// the consensus engine (filters, other clusters) from the block digest
+/// alone.
 Sha256Digest ValueDigestFor(uint8_t kind, const Sha256Digest& block_digest);
 
-/// What PBFT prepare/commit signatures cover: H(view ‖ slot ‖ value
-/// digest).
+/// What PBFT prepare/commit signatures cover: derived from (view ‖ slot ‖
+/// value digest).
 Sha256Digest ConsensusSignable(ViewNo view, uint64_t slot,
                                const Sha256Digest& value_digest);
 

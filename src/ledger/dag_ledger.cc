@@ -92,23 +92,23 @@ Status DagLedger::VerifyChain(const KeyStore& ks, size_t cert_quorum) const {
       if (e.alpha.n != expect) {
         return Status::Corruption("gap in chain " + ref.Label());
       }
-      // Tamper evidence: the certificate must still match the recomputed
-      // block digest, and carry a quorum of valid signatures.
-      if (e.cert.block_digest != e.block->Digest()) {
+      // Tamper evidence, recomputed from canonical bytes while bypassing
+      // every memoized digest (a tampered block may carry a stale cache):
+      // the Merkle root over the transactions must match the sealed root,
+      // and the certificate must cover the block digest re-derived from
+      // that recomputed root. One pass, no block copy, and no redundant
+      // re-hash of data either check already covered.
+      Sha256Digest root = e.block->RecomputeTxRoot();
+      if (root != e.block->tx_root) {
+        return Status::Corruption("transaction set tampered in " +
+                                  e.block->id.ToString());
+      }
+      if (e.cert.block_digest != e.block->RecomputeDigest(root)) {
         return Status::Corruption("block " + e.block->id.ToString() +
                                   " does not match its certificate");
       }
       if (cert_quorum > 0 && !e.cert.Valid(ks, cert_quorum)) {
         return Status::Corruption("invalid certificate on " +
-                                  e.block->id.ToString());
-      }
-      // Recheck the Merkle root over transactions, recomputing every
-      // transaction digest from its canonical bytes (tamper evidence).
-      Block copy = *e.block;
-      for (const auto& tx : copy.txs) tx.InvalidateDigest();
-      copy.Seal();
-      if (copy.tx_root != e.block->tx_root) {
-        return Status::Corruption("transaction set tampered in " +
                                   e.block->id.ToString());
       }
       if (prev != nullptr) {

@@ -35,12 +35,16 @@ bool Transaction::DecodeFrom(Decoder* dec, Transaction* out) {
 
 Sha256Digest Transaction::Digest() const {
   if (!digest_valid_) {
-    Encoder enc;
-    EncodeBodyTo(&enc);
-    digest_cache_ = Sha256::Hash(enc.buffer());
+    digest_cache_ = RecomputeDigest();
     digest_valid_ = true;
   }
   return digest_cache_;
+}
+
+Sha256Digest Transaction::RecomputeDigest() const {
+  Encoder enc;
+  EncodeBodyTo(&enc);
+  return Sha256::Hash(enc.buffer());
 }
 
 }  // namespace qanaat

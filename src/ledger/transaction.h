@@ -69,8 +69,11 @@ struct Transaction {
 
   /// Digest of the canonical body — what the client signs. Memoized:
   /// transactions are immutable once signed. Audit paths that must
-  /// detect post-hoc tampering call InvalidateDigest() first.
+  /// detect post-hoc tampering call InvalidateDigest() first, or use
+  /// RecomputeDigest() to hash the canonical bytes without touching the
+  /// cache (no mutation of shared state).
   Sha256Digest Digest() const;
+  Sha256Digest RecomputeDigest() const;
   void InvalidateDigest() const { digest_valid_ = false; }
 
   /// Approximate wire size in bytes.

@@ -14,10 +14,9 @@ namespace qanaat {
 
 namespace {
 Sha256Digest AcceptSignable(const Sha256Digest& d) {
-  Encoder enc;
-  enc.PutU8(0xFA);
-  enc.PutRaw(d.bytes.data(), d.bytes.size());
-  return Sha256::Hash(enc.buffer());
+  // Derived tag over (0xFA ‖ block digest); see DeriveDigest in
+  // ledger/block.h for why this does not need an inner SHA-256.
+  return DeriveDigest(0x46414343u /* "FACC" */, 0xFA, 0, d);
 }
 }  // namespace
 

@@ -24,6 +24,11 @@ OrderingNode::OrderingNode(Env* env, const Directory* dir,
           },
           [this](const FlowKey& key, std::vector<Transaction> txs,
                  BatchClose why) { OnBatchClosed(key, std::move(txs), why); }) {
+  // The dedup maps sit on the per-request hot path; reserve them so
+  // steady-state intake never rehashes mid-run.
+  seen_requests_.reserve(1 << 13);
+  observed_requests_.reserve(1 << 13);
+  committed_requests_.reserve(1 << 14);
   EngineContext ctx;
   ctx.env = env;
   ctx.self = id();
@@ -181,9 +186,7 @@ void OrderingNode::OnTimer(uint64_t tag, uint64_t payload) {
   if (tag == kTagProgress) {
     auto it = progress_checks_.find(payload);
     if (it == progress_checks_.end()) return;
-    if (seen_requests_.count(it->second.id) ||
-        committed_requests_.count(it->second.id) ||
-        observed_requests_.count(it->second.id)) {
+    if (IsDuplicateRequest(it->second.id)) {
       // A proposal carrying the request was observed — primary is live.
       progress_checks_.erase(it);
       return;
@@ -279,8 +282,7 @@ void OrderingNode::HandleRequest(NodeId /*from*/, const RequestMsg& m) {
     WatchRelayedRequest(tx);
     return;
   }
-  if (seen_requests_.count({tx.client, tx.client_ts}) ||
-      ObservedRecently({tx.client, tx.client_ts})) {
+  if (IsDuplicateRequest({tx.client, tx.client_ts})) {
     env()->metrics.Inc("order.duplicate_request");
     return;
   }
@@ -291,7 +293,8 @@ void OrderingNode::HandleRequest(NodeId /*from*/, const RequestMsg& m) {
     env()->metrics.Inc("order.rejected_write_rule");
     return;
   }
-  seen_requests_.insert({tx.client, tx.client_ts});
+  seen_requests_[{tx.client, tx.client_ts}] = now();
+  MaybePurgeDedup();
 
   // Requests of one flow (same collection + shard set) can legally share
   // a block; cross-cluster flows use the longer batch window.
@@ -309,18 +312,50 @@ void OrderingNode::ObserveProposedValue(const ConsensusValue& v) {
   for (const Transaction& tx : v.block->txs) {
     observed_requests_[{tx.client, tx.client_ts}] = now();
   }
+  // Backups never take the intake path, so the observation map must be
+  // purged here too or it grows for the whole run on (n-1)/n nodes.
+  MaybePurgeDedup();
 }
 
-bool OrderingNode::ObservedRecently(
-    const std::pair<NodeId, uint64_t>& id) const {
-  if (committed_requests_.count(id)) return true;
-  auto it = observed_requests_.find(id);
-  if (it == observed_requests_.end()) return false;
-  // In-flight observations cover the window a live proposal could still
-  // commit in (internal rounds plus a full re-driven cross instance);
-  // past it the proposal is presumed abandoned and the transaction may
-  // be batched afresh.
-  return now() - it->second <= 2 * dir_->params.cross_timeout_us;
+SimTime OrderingNode::DedupWindowUs() const {
+  // The window a live proposal could still commit in (internal rounds
+  // plus a full re-driven cross instance); past it the proposal is
+  // presumed abandoned and the transaction may be batched afresh.
+  return 2 * dir_->params.cross_timeout_us;
+}
+
+bool OrderingNode::RecentlyIn(const DedupMap& m, const RequestId& id) const {
+  auto it = m.find(id);
+  return it != m.end() && now() - it->second <= DedupWindowUs();
+}
+
+bool OrderingNode::ObservedRecently(const RequestId& id) const {
+  return committed_requests_.count(id) > 0 ||
+         RecentlyIn(observed_requests_, id);
+}
+
+bool OrderingNode::IsDuplicateRequest(const RequestId& id) const {
+  // Intake dedup uses the same expiry as observation dedup: past the
+  // window, this node's own proposal is presumed abandoned and a client
+  // retransmission may be admitted afresh — otherwise a transaction lost
+  // in an abandoned proposal would stay blacklisted here until another
+  // node became primary.
+  return committed_requests_.count(id) > 0 ||
+         RecentlyIn(seen_requests_, id) ||
+         RecentlyIn(observed_requests_, id);
+}
+
+void OrderingNode::MaybePurgeDedup() {
+  if (now() - last_dedup_purge_ <= DedupWindowUs()) return;
+  last_dedup_purge_ = now();
+  SimTime horizon = now() - DedupWindowUs();
+  for (auto it = seen_requests_.begin(); it != seen_requests_.end();) {
+    it = it->second < horizon ? seen_requests_.erase(it) : std::next(it);
+  }
+  for (auto it = observed_requests_.begin();
+       it != observed_requests_.end();) {
+    it = it->second < horizon ? observed_requests_.erase(it) : std::next(it);
+  }
 }
 
 void OrderingNode::WatchRelayedRequest(const Transaction& tx) {

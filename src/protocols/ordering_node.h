@@ -4,6 +4,8 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "consensus/batcher.h"
@@ -240,9 +242,34 @@ class OrderingNode : public Actor {
   // own cluster is still trying to commit (optimistic-mode safety,
   // §4.3.5).
   std::set<std::pair<ShardRef, SeqNo>> own_pending_;
+  // Request identity (client, client timestamp) for dedup bookkeeping.
+  // These maps sit on the per-request hot path, so they are hashed flat
+  // containers rather than ordered trees; nothing iterates them in key
+  // order.
+  using RequestId = std::pair<NodeId, uint64_t>;
+  /// Block digests are uniform SHA-256 output; their first 8 bytes are a
+  /// ready-made hash for the flat cross-state containers.
+  struct DigestHash {
+    size_t operator()(const Sha256Digest& d) const {
+      return static_cast<size_t>(d.Prefix64());
+    }
+  };
+  struct RequestIdHash {
+    size_t operator()(const RequestId& id) const {
+      return static_cast<size_t>(
+          Mix64((static_cast<uint64_t>(id.first) << 32) ^
+                (id.second + 0x9e3779b97f4a7c15ULL)));
+    }
+  };
   // Requests this node itself admitted to its batcher (primary intake
-  // dedup)...
-  std::set<std::pair<NodeId, uint64_t>> seen_requests_;
+  // dedup), with the admission time. An intake entry EXPIRES
+  // (SeenRecently) with the same window as observation dedup: a
+  // transaction stranded in this node's own abandoned proposal (e.g.
+  // lost on the wire before preparing) can be recovered by client
+  // retransmission to the same primary, instead of only via another node
+  // taking over leadership. Expired entries are purged periodically so
+  // the map is bounded by the intake rate times the window.
+  std::unordered_map<RequestId, SimTime, RequestIdHash> seen_requests_;
   // ...and requests observed in someone else's proposal, promise, fill
   // or a delivered block, with the observation time. Kept separate: a
   // batch is filtered against observations at close, which drops a
@@ -252,9 +279,23 @@ class OrderingNode : public Actor {
   // proposal was abandoned (e.g. no-op-filled by a view change before
   // preparing) can be retried by client retransmission instead of being
   // blacklisted forever; committed_requests_ is the permanent record.
-  std::map<std::pair<NodeId, uint64_t>, SimTime> observed_requests_;
-  std::set<std::pair<NodeId, uint64_t>> committed_requests_;
-  bool ObservedRecently(const std::pair<NodeId, uint64_t>& id) const;
+  std::unordered_map<RequestId, SimTime, RequestIdHash> observed_requests_;
+  std::unordered_set<RequestId, RequestIdHash> committed_requests_;
+  using DedupMap = std::unordered_map<RequestId, SimTime, RequestIdHash>;
+  /// The one shared expiry predicate both dedup maps use.
+  bool RecentlyIn(const DedupMap& m, const RequestId& id) const;
+  bool ObservedRecently(const RequestId& id) const;
+  /// Committed, recently admitted here, or recently observed in a
+  /// proposal — the per-request intake (and watchdog) dedup predicate.
+  bool IsDuplicateRequest(const RequestId& id) const;
+  /// The shared dedup window: how long an in-flight proposal could still
+  /// legitimately commit (internal rounds plus a full re-driven cross
+  /// instance).
+  SimTime DedupWindowUs() const;
+  /// Amortized sweep of expired intake/observation entries (at most once
+  /// per window), so both maps stay bounded under sustained load.
+  void MaybePurgeDedup();
+  SimTime last_dedup_purge_ = 0;
   // Progress watchdog for a relayed request: if neither the request is
   // observed in a proposal nor any slot delivers before the timer fires,
   // the primary is suspected. The delivery baseline distinguishes a dead
@@ -267,7 +308,7 @@ class OrderingNode : public Actor {
   };
   std::map<uint64_t, ProgressCheck> progress_checks_;
   uint64_t next_progress_ = 0;
-  std::map<Sha256Digest, XState> xstates_;
+  std::unordered_map<Sha256Digest, XState, DigestHash> xstates_;
   std::map<uint64_t, Sha256Digest> cross_timer_digest_;
   uint64_t next_cross_timer_ = 0;
   // Blocks whose client replies this cluster owns (initiator side).
@@ -280,7 +321,10 @@ class OrderingNode : public Actor {
     BlockPtr block;
   };
   std::vector<DeferredCross> deferred_cross_;
-  std::map<Sha256Digest, std::vector<ShardId>> active_cross_;
+  // Iterated only for an order-independent overlap test, so a flat map
+  // is safe.
+  std::unordered_map<Sha256Digest, std::vector<ShardId>, DigestHash>
+      active_cross_;
   std::map<uint64_t, std::pair<BlockPtr, int>> retry_blocks_;
   uint64_t next_retry_ = 0;
 

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <unordered_map>
 
 #include "common/histogram.h"
 #include "consensus/messages.h"
@@ -82,7 +83,14 @@ class ClientMachine : public Actor {
   SimTime retransmit_timeout_ = 0;  // 0 = disabled
 
   uint64_t next_ts_ = 1;
-  std::map<uint64_t, PendingTx> pending_;
+  /// Sequential timestamps need a mixing hash; accessed on every issue,
+  /// reply and retransmission, never iterated.
+  struct TsHash {
+    size_t operator()(uint64_t ts) const {
+      return static_cast<size_t>(Mix64(ts + 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  std::unordered_map<uint64_t, PendingTx, TsHash> pending_;
   // Byzantine (no firewall) rule: per tx, distinct repliers per result.
   std::map<uint64_t, std::map<uint64_t, std::set<NodeId>>> reply_votes_;
 

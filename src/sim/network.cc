@@ -5,31 +5,42 @@
 namespace qanaat {
 
 namespace {
-// SplitMix64 finalizer: used to fold trace words into the running hash so
-// single-bit differences avalanche.
+// Folds a trace word into the running hash so single-bit differences
+// avalanche (Mix64 is the shared SplitMix64 finalizer).
 uint64_t MixWord(uint64_t h, uint64_t word) {
-  uint64_t z = h ^ (word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return Mix64(h ^ (word + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
 }
 }  // namespace
 
 Network::Network(Env* env) : env_(env), rng_(env->rng.Fork()) {
   env_->net = this;
   rtt_.push_back({0});  // region 0, zero self-RTT
+  RebuildOneWayCache();
+  last_arrival_.reserve(1024);
 }
 
 int Network::AddRegion() {
   int id = static_cast<int>(rtt_.size());
   for (auto& row : rtt_) row.push_back(0);
   rtt_.emplace_back(rtt_.size() + 1, 0);
+  RebuildOneWayCache();
   return id;
 }
 
 void Network::SetRtt(int a, int b, SimTime rtt_us) {
   rtt_[a][b] = rtt_us;
   rtt_[b][a] = rtt_us;
+  RebuildOneWayCache();
+}
+
+void Network::RebuildOneWayCache() {
+  size_t n = rtt_.size();
+  one_way_.assign(n * n, 0);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      one_way_[a * n + b] = rtt_[a][b] / 2;
+    }
+  }
 }
 
 NodeId Network::Register(Actor* actor) {
@@ -40,20 +51,22 @@ NodeId Network::Register(Actor* actor) {
 }
 
 void Network::RestrictLinks(NodeId node, std::vector<NodeId> peers) {
-  allowed_[node] =
-      std::make_unique<std::set<NodeId>>(peers.begin(), peers.end());
+  auto bits = std::make_unique<NodeBitset>();
+  for (NodeId p : peers) bits->Set(p);
+  allowed_[node] = std::move(bits);
 }
 
 bool Network::LinkAllowed(NodeId from, NodeId to) const {
   const auto& fa = allowed_[from];
-  if (fa && !fa->count(to)) return false;
+  if (fa && !fa->Test(to)) return false;
   const auto& ta = allowed_[to];
-  if (ta && !ta->count(from)) return false;
+  if (ta && !ta->Test(from)) return false;
   return true;
 }
 
 SimTime Network::LatencyBetween(int a, int b) {
-  SimTime base = (a == b) ? env_->costs.lan_latency_us : rtt_[a][b] / 2;
+  SimTime base = (a == b) ? env_->costs.lan_latency_us
+                          : one_way_[static_cast<size_t>(a) * rtt_.size() + b];
   SimTime jitter = env_->costs.jitter_us > 0
                        ? static_cast<SimTime>(rng_.Uniform(
                              static_cast<uint64_t>(env_->costs.jitter_us) + 1))
@@ -62,14 +75,16 @@ SimTime Network::LatencyBetween(int a, int b) {
 }
 
 const Network::LinkFault* Network::FaultFor(NodeId from, NodeId to) const {
-  auto it = link_faults_.find({from, to});
-  if (it != link_faults_.end()) return &it->second;
+  if (!link_faults_.empty()) {
+    auto it = link_faults_.find(LinkKey(from, to));
+    if (it != link_faults_.end()) return &it->second;
+  }
   if (have_default_fault_) return &default_fault_;
   return nullptr;
 }
 
 void Network::SetLinkFault(NodeId from, NodeId to, const LinkFault& f) {
-  link_faults_[{from, to}] = f;
+  link_faults_[LinkKey(from, to)] = f;
 }
 
 void Network::SetLinkFaultBetween(NodeId a, NodeId b, const LinkFault& f) {
@@ -78,8 +93,8 @@ void Network::SetLinkFaultBetween(NodeId a, NodeId b, const LinkFault& f) {
 }
 
 void Network::ClearLinkFaultBetween(NodeId a, NodeId b) {
-  link_faults_.erase({a, b});
-  link_faults_.erase({b, a});
+  link_faults_.erase(LinkKey(a, b));
+  link_faults_.erase(LinkKey(b, a));
 }
 
 void Network::SetDefaultLinkFault(const LinkFault& f) {
@@ -96,9 +111,20 @@ void Network::NoteTraceEvent(uint64_t word) {
   trace_hash_ = MixWord(trace_hash_, word);
 }
 
+std::vector<std::pair<NodeId, NodeId>> Network::delivered_links() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(delivered_links_.size());
+  for (uint64_t key : delivered_links_) {
+    out.emplace_back(static_cast<NodeId>(key >> 32),
+                     static_cast<NodeId>(key & 0xffffffffu));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
                                MessageRef msg) {
-  auto link = std::make_pair(from, to);
+  uint64_t link = LinkKey(from, to);
   auto [it, inserted] = last_arrival_.emplace(link, arrival);
   if (!inserted) {
     if (arrival < it->second) {
@@ -114,16 +140,8 @@ void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
                  (static_cast<uint64_t>(to) << 8) ^
                  static_cast<uint64_t>(msg->type));
   Actor* dst = actors_[to];
-  uint64_t dst_epoch = dst->epoch();
-  env_->sim.ScheduleAt(arrival,
-                       [dst, dst_epoch, arrival, from, m = std::move(msg)]() {
-                         // A message addressed to a previous life of the
-                         // node (it crashed while this was in flight) is
-                         // lost with the crashed process.
-                         if (dst->epoch() == dst_epoch) {
-                           dst->DeliverAt(arrival, from, m);
-                         }
-                       });
+  env_->sim.ScheduleDeliver(arrival, dst, dst->epoch(), from,
+                            std::move(msg));
 }
 
 void Network::Send(NodeId from, NodeId to, MessageRef msg) {
@@ -137,10 +155,13 @@ void Network::Send(NodeId from, NodeId to, MessageRef msg) {
     env_->metrics.Inc("net.blocked_sends");
     return;
   }
-  auto key = std::minmax(from, to);
-  if (partitions_.count({key.first, key.second})) {
-    env_->metrics.Inc("net.partitioned");
-    return;
+  if (!partitions_.empty()) {
+    auto key = std::minmax(from, to);
+    uint64_t packed = LinkKey(key.first, key.second);
+    if (std::binary_search(partitions_.begin(), partitions_.end(), packed)) {
+      env_->metrics.Inc("net.partitioned");
+      return;
+    }
   }
   // Crash-stop endpoints are checked before any random draw: a blocked
   // send must not consume fault randomness, or the post-recovery replay
@@ -195,12 +216,16 @@ void Network::Multicast(NodeId from, const std::vector<NodeId>& to,
 
 void Network::Partition(NodeId a, NodeId b) {
   auto key = std::minmax(a, b);
-  partitions_.insert({key.first, key.second});
+  uint64_t packed = LinkKey(key.first, key.second);
+  auto it = std::lower_bound(partitions_.begin(), partitions_.end(), packed);
+  if (it == partitions_.end() || *it != packed) partitions_.insert(it, packed);
 }
 
 void Network::HealPartition(NodeId a, NodeId b) {
   auto key = std::minmax(a, b);
-  partitions_.erase({key.first, key.second});
+  uint64_t packed = LinkKey(key.first, key.second);
+  auto it = std::lower_bound(partitions_.begin(), partitions_.end(), packed);
+  if (it != partitions_.end() && *it == packed) partitions_.erase(it);
 }
 
 void Network::HealAllPartitions() { partitions_.clear(); }
@@ -222,20 +247,16 @@ void Actor::DeliverAt(SimTime arrival, NodeId from, MessageRef msg) {
   SimTime start = std::max(arrival, busy_until_);
   SimTime done = start + CostOf(*msg);
   busy_until_ = done;
-  uint64_t e = epoch_;
-  env_->sim.ScheduleAt(done, [this, e, from, m = std::move(msg)]() {
-    // Epoch guard: work accepted before a crash must not complete in a
-    // recovered life.
-    if (!crashed_ && e == epoch_) OnMessage(from, m);
-  });
+  // Tagged handle event: the epoch guard runs at execution time, so work
+  // accepted before a crash cannot complete in a recovered life.
+  env_->sim.ScheduleHandle(done, this, epoch_, from, std::move(msg));
 }
 
 void Actor::StartTimer(SimTime delay, uint64_t tag, uint64_t payload) {
-  uint64_t e = epoch_;
-  env_->sim.Schedule(delay, [this, e, tag, payload]() {
-    // Epoch guard: timers armed before a crash die with that life.
-    if (!crashed_ && e == epoch_) OnTimer(tag, payload);
-  });
+  if (delay < 0) delay = 0;
+  // Tagged timer event: timers armed before a crash die with that life.
+  env_->sim.ScheduleTimer(env_->sim.now() + delay, this, epoch_, tag,
+                          payload);
 }
 
 }  // namespace qanaat

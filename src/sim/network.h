@@ -1,9 +1,10 @@
 #ifndef QANAAT_SIM_NETWORK_H_
 #define QANAAT_SIM_NETWORK_H_
 
-#include <map>
+#include <algorithm>
 #include <memory>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -15,6 +16,26 @@
 namespace qanaat {
 
 class Actor;
+
+/// Growable dense bitset over NodeIds — the flat form of a per-node
+/// allow-list (firewall wiring). Membership is one word load on the
+/// per-send hot path.
+class NodeBitset {
+ public:
+  void Set(NodeId id) {
+    size_t word = id / 64;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    words_[word] |= uint64_t{1} << (id % 64);
+  }
+  bool Test(NodeId id) const {
+    size_t word = id / 64;
+    return word < words_.size() &&
+           (words_[word] >> (id % 64)) & uint64_t{1};
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
 
 /// Simulated transport: per-region RTT matrix, bandwidth, jitter, message
 /// drops, partitions, and *physical link restrictions* (the privacy
@@ -101,11 +122,10 @@ class Network {
 
   /// When enabled, records every (from, to) pair a message was actually
   /// scheduled on, so an auditor can re-check the link restrictions post
-  /// hoc (firewall containment under fault injection).
+  /// hoc (firewall containment under fault injection). The accessor
+  /// materializes a sorted pair list from the flat-keyed hot-path record.
   void set_record_delivered_links(bool on) { record_links_ = on; }
-  const std::set<std::pair<NodeId, NodeId>>& delivered_links() const {
-    return delivered_links_;
-  }
+  std::vector<std::pair<NodeId, NodeId>> delivered_links() const;
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
@@ -114,7 +134,21 @@ class Network {
   uint64_t reordered() const { return reordered_; }
 
  private:
+  /// Directed links are keyed by one packed word on every hot-path
+  /// container: no pair comparisons, no tree walks.
+  static constexpr uint64_t LinkKey(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+  /// Mixes the packed key so the flat hash tables spread sequentially
+  /// assigned NodeIds instead of clustering them.
+  struct LinkKeyHash {
+    size_t operator()(uint64_t k) const {
+      return static_cast<size_t>(Mix64(k + 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
   SimTime LatencyBetween(int region_a, int region_b);
+  void RebuildOneWayCache();
   const LinkFault* FaultFor(NodeId from, NodeId to) const;
   /// Schedules one delivery at `arrival`, folding it into the trace hash
   /// and detecting overtakes (a later-sent message scheduled to arrive
@@ -126,16 +160,21 @@ class Network {
   Rng rng_;
   std::vector<Actor*> actors_;
   std::vector<std::vector<SimTime>> rtt_;  // region x region RTT (µs)
-  std::vector<std::unique_ptr<std::set<NodeId>>> allowed_;  // per node
-  std::set<std::pair<NodeId, NodeId>> partitions_;
-  std::map<std::pair<NodeId, NodeId>, LinkFault> link_faults_;
+  // Flattened one-way latency (rtt/2) per region pair, rebuilt on
+  // AddRegion/SetRtt so the per-send lookup is one indexed load.
+  std::vector<SimTime> one_way_;
+  std::vector<std::unique_ptr<NodeBitset>> allowed_;  // per node
+  // Symmetric partitions, keyed LinkKey(min, max): a small sorted vector
+  // beats a tree for the few-entries, read-heavy partition set.
+  std::vector<uint64_t> partitions_;
+  std::unordered_map<uint64_t, LinkFault, LinkKeyHash> link_faults_;
   LinkFault default_fault_;
   bool have_default_fault_ = false;
   double drop_rate_ = 0.0;
   bool record_links_ = false;
-  std::set<std::pair<NodeId, NodeId>> delivered_links_;
+  std::unordered_set<uint64_t, LinkKeyHash> delivered_links_;
   // Latest scheduled arrival per directed link, for overtake detection.
-  std::map<std::pair<NodeId, NodeId>, SimTime> last_arrival_;
+  std::unordered_map<uint64_t, SimTime, LinkKeyHash> last_arrival_;
   uint64_t trace_hash_ = 0x51ed270b9f652295ULL;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
@@ -214,7 +253,11 @@ class Actor {
   /// or armed in a previous life (pre-crash epoch).
   void StartTimer(SimTime delay, uint64_t tag, uint64_t payload = 0);
   /// Occupy the CPU for `d` more microseconds (e.g. executing a batch).
-  void ChargeCpu(SimTime d) { busy_until_ += d; }
+  /// The charge starts from now when the CPU is idle: extending a
+  /// busy_until_ that lies in the past would under-charge by the idle gap.
+  void ChargeCpu(SimTime d) {
+    busy_until_ = std::max(now(), busy_until_) + d;
+  }
 
   /// Per-message CPU cost; default = base + verifications.
   virtual SimTime CostOf(const Message& msg) const;

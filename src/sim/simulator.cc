@@ -1,30 +1,77 @@
 #include "sim/simulator.h"
 
+#include <chrono>
+
+#include "sim/network.h"
+
 namespace qanaat {
 
+void Simulator::Execute(Event& ev) {
+  switch (ev.kind) {
+    case Kind::kClosure: {
+      // Move the pooled closure out before running it: the callback may
+      // schedule new closures, which can reuse (or reallocate) the slot.
+      Callback fn = std::move(closures_[ev.closure]);
+      closures_[ev.closure] = nullptr;
+      free_closures_.push_back(ev.closure);
+      fn();
+      break;
+    }
+    case Kind::kDeliver:
+      // A message addressed to a previous life of the node (it crashed
+      // while this was in flight) is lost with the crashed process.
+      if (ev.actor->epoch() == ev.epoch) {
+        ev.actor->DeliverAt(static_cast<SimTime>(ev.a),
+                            static_cast<NodeId>(ev.b), std::move(ev.msg));
+      }
+      break;
+    case Kind::kHandle:
+      // Epoch guard: work accepted before a crash must not complete in a
+      // recovered life.
+      if (!ev.actor->crashed() && ev.actor->epoch() == ev.epoch) {
+        ev.actor->OnMessage(static_cast<NodeId>(ev.b), ev.msg);
+      }
+      break;
+    case Kind::kTimer:
+      // Epoch guard: timers armed before a crash die with that life.
+      if (!ev.actor->crashed() && ev.actor->epoch() == ev.epoch) {
+        ev.actor->OnTimer(ev.a, ev.b);
+      }
+      break;
+  }
+}
+
 uint64_t Simulator::Run(SimTime until) {
+  auto wall0 = std::chrono::steady_clock::now();
   uint64_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= until) {
-    // Copy out: the callback may schedule new events, invalidating top().
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
+  Event ev;
+  while (!heap_.empty() && heap_.front().time <= until) {
+    // Pop before executing: the event may schedule new events.
+    now_ = PopInto(ev);
+    Execute(ev);
     ++executed;
   }
   if (now_ < until) now_ = until;
+  events_executed_ += executed;
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
   return executed;
 }
 
 uint64_t Simulator::RunAll() {
+  auto wall0 = std::chrono::steady_clock::now();
   uint64_t executed = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
+  Event ev;
+  while (!heap_.empty()) {
+    now_ = PopInto(ev);
+    Execute(ev);
     ++executed;
   }
+  events_executed_ += executed;
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
   return executed;
 }
 

@@ -4,8 +4,50 @@
 
 namespace qanaat {
 
+uint32_t MvStore::FindChain(Key key) const {
+  size_t mask = index_.size() - 1;
+  size_t i = HashKey(key) & mask;
+  while (true) {
+    const auto& bucket = index_[i];
+    if (bucket.second == kNoChain) return kNoChain;
+    if (bucket.first == key) return bucket.second;
+    i = (i + 1) & mask;
+  }
+}
+
+uint32_t MvStore::FindOrCreateChain(Key key) {
+  size_t mask = index_.size() - 1;
+  size_t i = HashKey(key) & mask;
+  while (true) {
+    auto& bucket = index_[i];
+    if (bucket.second == kNoChain) {
+      uint32_t idx = static_cast<uint32_t>(chains_.size());
+      chains_.emplace_back();
+      bucket = {key, idx};
+      // Keep the load factor under 1/2 so probe runs stay short.
+      if (chains_.size() * 2 > index_.size()) GrowIndex();
+      return idx;
+    }
+    if (bucket.first == key) return bucket.second;
+    i = (i + 1) & mask;
+  }
+}
+
+void MvStore::GrowIndex() {
+  std::vector<std::pair<Key, uint32_t>> bigger(index_.size() * 2,
+                                               {0, kNoChain});
+  size_t mask = bigger.size() - 1;
+  for (const auto& bucket : index_) {
+    if (bucket.second == kNoChain) continue;
+    size_t i = HashKey(bucket.first) & mask;
+    while (bigger[i].second != kNoChain) i = (i + 1) & mask;
+    bigger[i] = bucket;
+  }
+  index_.swap(bigger);
+}
+
 Status MvStore::Put(Key key, Value value, SeqNo version) {
-  auto& chain = chains_[key];
+  auto& chain = chains_[FindOrCreateChain(key)];
   if (!chain.empty() && chain.back().version > version) {
     return Status::FailedPrecondition(
         "version regression on key " + std::to_string(key) + ": " +
@@ -22,19 +64,19 @@ Status MvStore::Put(Key key, Value value, SeqNo version) {
 }
 
 StatusOr<MvStore::Value> MvStore::Get(Key key) const {
-  auto it = chains_.find(key);
-  if (it == chains_.end() || it->second.empty()) {
+  uint32_t idx = FindChain(key);
+  if (idx == kNoChain || chains_[idx].empty()) {
     return Status::NotFound("key " + std::to_string(key));
   }
-  return it->second.back().value;
+  return chains_[idx].back().value;
 }
 
 StatusOr<MvStore::Value> MvStore::GetAt(Key key, SeqNo max_version) const {
-  auto it = chains_.find(key);
-  if (it == chains_.end() || it->second.empty()) {
+  uint32_t idx = FindChain(key);
+  if (idx == kNoChain || chains_[idx].empty()) {
     return Status::NotFound("key " + std::to_string(key));
   }
-  const auto& chain = it->second;
+  const auto& chain = chains_[idx];
   // Last version <= max_version.
   auto pos = std::upper_bound(
       chain.begin(), chain.end(), max_version,
@@ -48,12 +90,12 @@ StatusOr<MvStore::Value> MvStore::GetAt(Key key, SeqNo max_version) const {
 }
 
 size_t MvStore::VersionCountOf(Key key) const {
-  auto it = chains_.find(key);
-  return it == chains_.end() ? 0 : it->second.size();
+  uint32_t idx = FindChain(key);
+  return idx == kNoChain ? 0 : chains_[idx].size();
 }
 
 void MvStore::TrimBelow(SeqNo floor) {
-  for (auto& [key, chain] : chains_) {
+  for (auto& chain : chains_) {
     if (chain.size() <= 1) continue;
     // Keep the newest version < floor as the base value plus everything
     // >= floor.

@@ -102,6 +102,35 @@ TEST(ChaosReplay, SameSeedSameTrace) {
   }
 }
 
+// Golden seeds: trace hashes recorded on the pre-refactor simulation
+// core (std::function priority queue, tree-keyed network containers,
+// SHA-based signature tags) with this PR's behavior fixes applied. The
+// pooled tagged event queue, the flat-keyed network hot path, the PRF
+// signature tags and the derived-digest swap must all replay these seeds
+// bit-identically — any drift here means the perf work changed observable
+// scheduling, not just speed.
+TEST(ChaosGolden, TraceHashesMatchPreRefactorCore) {
+  struct Golden {
+    ChaosStack stack;
+    uint64_t seed;
+    uint64_t trace_hash;
+  };
+  static const Golden kGolden[] = {
+      {ChaosStack::kQanaatPbft, 2u, 0x6c9ec5ed2f8d034bULL},
+      {ChaosStack::kQanaatPbft, 7u, 0x3127b449b49940ceULL},
+      {ChaosStack::kQanaatPaxos, 3u, 0x96cd6774bcd84f51ULL},
+      {ChaosStack::kQanaatPaxos, 12u, 0x63493ec0a8cc1d7aULL},
+      {ChaosStack::kFabric, 5u, 0x4768e3067e186cf7ULL},
+  };
+  for (const Golden& g : kGolden) {
+    ChaosReport r = RunChaos(CorpusOptions(g.stack, g.seed));
+    EXPECT_EQ(r.trace_hash, g.trace_hash)
+        << ChaosStackName(g.stack) << " seed " << g.seed
+        << " diverged from the pre-refactor trace";
+    EXPECT_TRUE(r.safety.ok());
+  }
+}
+
 TEST(ChaosReplay, DifferentSeedsDiverge) {
   ChaosReport a = RunChaos(CorpusOptions(ChaosStack::kQanaatPbft, 5));
   ChaosReport b = RunChaos(CorpusOptions(ChaosStack::kQanaatPbft, 6));

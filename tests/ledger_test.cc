@@ -195,5 +195,50 @@ TEST(BlockTest, DigestCoversIdAndTxs) {
   EXPECT_NE(b1->Digest(), b3->Digest());
 }
 
+TEST(BlockTest, TamperingInvalidatesMemoizedDigest) {
+  // The block digest is memoized at Seal() for the hot paths; audits
+  // must still catch post-hoc tampering. RecomputeTxRoot() bypasses
+  // every cache, and an explicit invalidation + re-seal yields a new
+  // digest.
+  Block b;
+  b.id.alpha = {Coll({0}), 0, 1};
+  b.txs.push_back(MakeTx(7, 5, Coll({0})));
+  b.txs.push_back(MakeTx(8, 5, Coll({0})));
+  b.Seal();
+  const Sha256Digest sealed = b.Digest();
+
+  // Tamper with transaction content behind the caches.
+  b.txs[0].ops[0].value += 1;
+  // The memoized digest is stale by design (this is why audit paths must
+  // recompute)...
+  EXPECT_EQ(b.Digest(), sealed);
+  // ...and the cache-bypassing audit recompute catches the tampering.
+  Sha256Digest root = b.RecomputeTxRoot();
+  EXPECT_NE(root, b.tx_root);
+  EXPECT_NE(b.RecomputeDigest(root), sealed);
+
+  // Invalidation + re-seal produces the digest of the tampered content.
+  for (const auto& tx : b.txs) tx.InvalidateDigest();
+  b.InvalidateDigest();
+  b.Seal();
+  EXPECT_NE(b.Digest(), sealed);
+  EXPECT_EQ(b.tx_root, root);
+}
+
+TEST(DagLedgerTest, VerifyChainCatchesPostCommitTampering) {
+  KeyStore ks(1);
+  DagLedger led;
+  auto b = MakeBlock(Coll({0}), 0, 1);
+  ASSERT_TRUE(led.Append(b, CertFor(ks, *b), 10).ok());
+  ASSERT_TRUE(led.VerifyChain(ks, 1).ok());
+  // Tamper with the committed block through its shared pointer; the
+  // memoized digest still matches the certificate, so only the
+  // recomputing audit can notice.
+  auto* block = const_cast<Block*>(led.entry(0).block.get());
+  block->txs[0].client_ts ^= 1;
+  Status st = led.VerifyChain(ks, 1);
+  EXPECT_FALSE(st.ok());
+}
+
 }  // namespace
 }  // namespace qanaat

@@ -129,6 +129,52 @@ TEST(OrderingTest, DuplicateRequestsCommitOnce) {
   EXPECT_EQ(*v, 100);  // applied exactly once
 }
 
+TEST(OrderingTest, IntakeDedupExpiresForAbandonedProposal) {
+  // ROADMAP gap: the primary's intake dedup (seen_requests_) used to be
+  // permanent, so a transaction stranded in that node's abandoned
+  // proposal was unrecoverable until another node became primary. With
+  // the expiry scheme, a client retransmission after the dedup window is
+  // admitted afresh by the same primary.
+  auto sys = QanaatSystem(BaseOpts(ProtocolFamily::kFlattened,
+                                   FailureModel::kCrash, 2, 1));
+  ScriptClient client(&sys.env(), &sys.directory());
+  CollectionId d_a{EnterpriseSet::Single(0)};
+  const ClusterConfig& cc = sys.directory().Cluster(0);
+  NodeId primary = cc.InitialPrimary();
+  // Isolate the primary from its cluster peers: its proposal is lost and
+  // never commits, but it still receives client traffic and stays leader
+  // (no relays, so nobody suspects it).
+  Network::LinkFault lost;
+  lost.drop = 1.0;
+  for (NodeId peer : cc.ordering) {
+    if (peer != primary) sys.net().SetLinkFaultBetween(primary, peer, lost);
+  }
+
+  Transaction tx;
+  tx.client = client.id();
+  tx.client_ts = 7;
+  tx.collection = d_a;
+  tx.shards = {0};
+  tx.ops.push_back(TxOp{TxOp::Kind::kAdd, 9, 50, {}});
+  tx.client_sig = sys.env().keystore.Sign(client.id(), tx.Digest());
+  auto req = std::make_shared<RequestMsg>();
+  req->tx = tx;
+
+  sys.net().Send(client.id(), primary, req);
+  // A retransmission inside the window is still deduplicated.
+  sys.env().sim.Run(100 * kMillisecond);
+  sys.net().Send(client.id(), primary, req);
+  sys.env().sim.Run(200 * kMillisecond);
+  EXPECT_EQ(sys.env().metrics.Get("order.duplicate_request"), 1u);
+  // Past the window (2 x cross_timeout = 800ms) the entry expires and
+  // the retransmission is admitted again instead of being blacklisted.
+  sys.env().sim.Run(1200 * kMillisecond);
+  sys.net().Send(client.id(), primary, req);
+  sys.env().sim.Run(1500 * kMillisecond);
+  EXPECT_EQ(sys.env().metrics.Get("order.duplicate_request"), 1u)
+      << "expired intake entry must not flag the retransmission";
+}
+
 // ------------------------------------- cross-shard ID concatenation
 
 TEST(CrossShardTest, EachClusterAppendsUnderOwnAlpha) {

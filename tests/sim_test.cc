@@ -51,6 +51,45 @@ TEST(SimulatorTest, EventsCanScheduleEvents) {
   EXPECT_EQ(sim.now(), 40);
 }
 
+TEST(SimulatorTest, PooledEventsPreserveOrderAcrossPoolReuse) {
+  // The tagged event queue recycles pool slots after each executed
+  // event. (time, insertion-seq) ordering must survive reuse: a second
+  // wave of same-time events, landing in slots freed by the first wave,
+  // still executes in exact insertion order.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  // Second wave, alternating between two times: ties break by insertion
+  // order, and every time-7 event runs before every time-8 event even
+  // though their pool slots interleave.
+  for (int i = 16; i < 32; ++i) {
+    sim.Schedule(i % 2 == 0 ? 7 : 8, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(order.size(), 32u);
+  std::vector<int> expect;
+  for (int i = 0; i < 16; ++i) expect.push_back(i);
+  for (int i = 16; i < 32; i += 2) expect.push_back(i);      // time 7
+  for (int i = 17; i < 32; i += 2) expect.push_back(i);      // time 8
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(sim.events_executed(), 32u);
+}
+
+TEST(SimulatorTest, EventsExecutedCounterAccumulates) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { fired++; });
+  sim.Schedule(2, [&] { fired++; });
+  sim.Run(1);
+  EXPECT_EQ(sim.events_executed(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(sim.events_executed(), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(SimulatorTest, PastScheduleClampedToNow) {
   Simulator sim;
   SimTime observed = -1;
@@ -233,6 +272,56 @@ class TimerActor : public Actor {
   }
   std::vector<std::pair<uint64_t, uint64_t>> fired;
 };
+
+TEST(ActorTimerTest, TaggedTimersPreserveArmingOrderAcrossPoolReuse) {
+  // Actor timers ride the pooled tagged-event path; ties on the same
+  // firing time must keep arming order, including for timers armed after
+  // earlier events freed their pool slots.
+  NetFixture f;
+  TimerActor t(&f.env);
+  for (uint64_t i = 0; i < 8; ++i) t.Arm(50, 1, i);
+  f.env.sim.RunAll();
+  for (uint64_t i = 8; i < 16; ++i) t.Arm(50, 1, i);
+  f.env.sim.RunAll();
+  ASSERT_EQ(t.fired.size(), 16u);
+  for (uint64_t i = 0; i < 16; ++i) EXPECT_EQ(t.fired[i].second, i);
+}
+
+// ------------------------------------------------------- CPU charging
+
+class ChargingActor : public Actor {
+ public:
+  explicit ChargingActor(Env* env) : Actor(env, "charge") {}
+  void OnMessage(NodeId, const MessageRef&) override { handled_at = now(); }
+  void OnTimer(uint64_t, uint64_t payload) override {
+    ChargeCpu(static_cast<SimTime>(payload));
+  }
+  void Arm(SimTime d, SimTime charge) {
+    StartTimer(d, 1, static_cast<uint64_t>(charge));
+  }
+  SimTime handled_at = -1;
+};
+
+TEST(ActorCpuTest, ChargeCpuAfterIdleStartsFromNow) {
+  // Regression: ChargeCpu used to extend a stale busy_until_ that lay in
+  // the past, so a node idle since t=0 charging 500us at t=1000 appeared
+  // busy only until t=500 — i.e. not at all. The charge must occupy
+  // [now, now + d].
+  NetFixture f;
+  f.env.costs.jitter_us = 0;
+  f.env.costs.base_proc_us = 8;
+  EchoActor sender(&f.env, 0);
+  ChargingActor c(&f.env);
+  c.Arm(1000, 500);  // at t=1000, occupy the CPU until t=1500
+  f.env.sim.Schedule(1000, [&] {
+    auto m = std::make_shared<Message>(MsgType::kRequest);
+    m->sig_verify_ops = 0;
+    f.net.Send(sender.id(), c.id(), m);  // arrives ~1250, mid-charge
+  });
+  f.env.sim.RunAll();
+  // Processing starts when the charged work completes, not at arrival.
+  EXPECT_GE(c.handled_at, 1500 + f.env.costs.base_proc_us);
+}
 
 TEST(ActorTimerTest, FiresWithTagAndPayload) {
   NetFixture f;
