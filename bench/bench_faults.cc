@@ -16,12 +16,26 @@ struct Scenario {
   const char* name;
   int crash_backups = 0;
   double loss = 0.0;
+  /// Crash-and-recover window (one backup per cluster) — the
+  /// checkpoint/state-transfer overhead point.
+  bool crash_recover = false;
+  bool state_transfer = true;
 };
 
 const Scenario kScenarios[] = {
     {"baseline", 0, 0.0},
     {"crash_backup", 1, 0.0},
     {"loss_1pct", 0, 0.01},
+    // Checkpoint overhead pair: one backup per cluster crashes mid-run
+    // and recovers under load, with the certified-checkpoint + state-
+    // transfer subsystem on vs off. The delta in throughput/latency is
+    // what proactive recovery costs (checkpoint votes, transfer bytes)
+    // and buys (no stale replicas; see recovery_test.cc for the safety
+    // side).
+    {"crash_recover_st", 0, 0.0, /*crash_recover=*/true,
+     /*state_transfer=*/true},
+    {"crash_recover_no_st", 0, 0.0, /*crash_recover=*/true,
+     /*state_transfer=*/false},
 };
 
 void Run() {
@@ -46,6 +60,13 @@ void Run() {
     cfg.faulty_ordering_nodes = sc.crash_backups;
     cfg.drop_rate = sc.loss;
     if (sc.loss > 0) cfg.client_retransmit_us = 250 * kMillisecond;
+    if (sc.crash_recover) {
+      cfg.crash_at = cfg.duration / 4;
+      cfg.recover_at = cfg.duration / 2;
+      cfg.client_retransmit_us = 250 * kMillisecond;
+      cfg.params.state_transfer = sc.state_transfer;
+      if (!sc.state_transfer) cfg.params.checkpoint_interval = 0;
+    }
     LoadPoint p = RunQanaatPoint(cfg, kQanaatLoad);
     std::printf("%-14s %-14.0f %-12.2f %-12.2f  (%s)\n", "", p.measured_tps,
                 p.avg_latency_ms, p.p99_latency_ms, sc.name);
@@ -55,6 +76,7 @@ void Run() {
 
   PrintCurveHeader("Fabric");
   for (const Scenario& sc : kScenarios) {
+    if (sc.crash_recover) continue;  // Qanaat-only recovery scenarios
     FabricRunConfig cfg;
     cfg.fabric.enterprises = 2;
     cfg.workload.cross_kind = CrossKind::kIntraShardCrossEnterprise;

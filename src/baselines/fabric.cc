@@ -84,7 +84,26 @@ FabricPeer::FabricPeer(Env* env, FabricSystem* sys, const DataModel* model,
     : Actor(env, "fabric-peer/" + std::to_string(enterprise)),
       sys_(sys),
       model_(model),
-      enterprise_(enterprise) {}
+      enterprise_(enterprise) {
+  if (sys_->config().peer_catchup_period_us > 0) {
+    // Stagger the polls per peer so they never land on the same tick.
+    StartTimer(sys_->config().peer_catchup_period_us + enterprise,
+               kTagCatchup, 0);
+  }
+}
+
+void FabricPeer::OnTimer(uint64_t tag, uint64_t /*payload*/) {
+  if (tag != kTagCatchup) return;
+  RequestMissingBlocks();
+  StartTimer(sys_->config().peer_catchup_period_us + enterprise_,
+             kTagCatchup, 0);
+}
+
+void FabricPeer::RequestMissingBlocks() {
+  auto req = std::make_shared<BlockFetchReqMsg>();
+  req->from_block = next_block_;
+  Send(sys_->leader_id(), req);
+}
 
 SimTime FabricPeer::CostOf(const Message& msg) const {
   switch (msg.type) {
@@ -196,6 +215,19 @@ void FabricPeer::HandleBlock(const MessageRef& msg) {
     held_blocks_.erase(it);
     ++next_block_;
     ApplyBlock(*blk);
+  }
+  if (!held_blocks_.empty() && sys_->config().peer_catchup_period_us > 0) {
+    // A successor arrived but its predecessor did not. Give a merely
+    // reordered predecessor one more arrival to show up; a gap that
+    // persists means the block was lost — fetch it now rather than on
+    // the next poll.
+    if (had_gap_) {
+      env()->metrics.Inc("fabric.gap_fetch");
+      RequestMissingBlocks();
+    }
+    had_gap_ = true;
+  } else {
+    had_gap_ = false;
   }
 }
 
@@ -381,20 +413,76 @@ void FabricOrderer::OnMessage(NodeId from, const MessageRef& msg) {
         for (const auto& etx : *blk->txs) bytes += etx.tx.WireSize() + 64;
         blk->wire_bytes = bytes;
         ordered_txs_ += blk->txs->size();
+        block_store_[m.index] = blk->txs;
         for (NodeId p : sys_->peer_ids()) Send(p, blk);
         inflight_.erase(m.index);
         acks_.erase(m.index);
       }
       break;
     }
+    case MsgType::kBlockFetchReq:
+      HandleBlockFetch(from, *msg->As<BlockFetchReqMsg>());
+      break;
     default:
       break;
   }
 }
 
+void FabricOrderer::HandleBlockFetch(NodeId from, const BlockFetchReqMsg& m) {
+  // The fetch doubles as a frontier report: once every peer has
+  // reported, blocks below the slowest frontier can never be fetched
+  // again and are dropped from the store.
+  peer_frontier_[from] = std::max(peer_frontier_[from], m.from_block);
+  if (peer_frontier_.size() >= sys_->peers().size()) {
+    uint64_t low = UINT64_MAX;
+    for (const auto& [peer, frontier] : peer_frontier_) {
+      low = std::min(low, frontier);
+    }
+    block_store_.erase(block_store_.begin(), block_store_.lower_bound(low));
+  }
+  // Resend up to 8 retained blocks per request; the peer's next fetch
+  // (gap-triggered or periodic) walks further. Silence when the peer is
+  // already current keeps the steady-state cost at one request message.
+  int sent = 0;
+  for (auto it = block_store_.lower_bound(m.from_block);
+       it != block_store_.end() && sent < 8; ++it, ++sent) {
+    auto blk = std::make_shared<OrderedBlockMsg>();
+    blk->block_no = it->first;
+    blk->txs = it->second;
+    uint32_t bytes = 128;
+    for (const auto& etx : *blk->txs) bytes += etx.tx.WireSize() + 64;
+    blk->wire_bytes = bytes;
+    Send(from, blk);
+  }
+  if (sent > 0) env()->metrics.Inc("fabric.blocks_refetched", sent);
+}
+
 void FabricOrderer::OnTimer(uint64_t tag, uint64_t payload) {
+  if (tag == kTagRaftRetry) {
+    if (delivered_.count(payload) || !inflight_.count(payload)) return;
+    env()->metrics.Inc("fabric.raft_retry");
+    SendAppend(payload);
+    StartTimer(10 * sys_->config().batch_timeout_us, kTagRaftRetry,
+               payload);
+    return;
+  }
   if (tag != kTagBatch) return;
   batcher_.OnTimer(payload);
+}
+
+void FabricOrderer::SendAppend(uint64_t index) {
+  auto it = inflight_.find(index);
+  if (it == inflight_.end()) return;
+  auto append = std::make_shared<RaftAppendMsg>();
+  append->term = 1;
+  append->index = index;
+  append->txs = it->second;
+  uint32_t bytes = 64;
+  for (const auto& etx : *append->txs) bytes += etx.tx.WireSize() + 64;
+  append->wire_bytes = bytes;
+  for (int i = 0; i < sys_->config().orderers; ++i) {
+    if (i != index_) Send(sys_->orderer(i)->id(), append);
+  }
 }
 
 void FabricOrderer::CloseBatch(std::vector<EndorsedTx> batch) {
@@ -409,15 +497,9 @@ void FabricOrderer::CloseBatch(std::vector<EndorsedTx> batch) {
     }
   }
   inflight_[index] = txs;
-  auto append = std::make_shared<RaftAppendMsg>();
-  append->term = 1;
-  append->index = index;
-  append->txs = txs;
-  uint32_t bytes = 64;
-  for (const auto& etx : *txs) bytes += etx.tx.WireSize() + 64;
-  append->wire_bytes = bytes;
-  for (int i = 0; i < sys_->config().orderers; ++i) {
-    if (i != index_) Send(sys_->orderer(i)->id(), append);
+  SendAppend(index);
+  if (sys_->config().orderers > 1) {
+    StartTimer(10 * sys_->config().batch_timeout_us, kTagRaftRetry, index);
   }
   // Single-orderer degenerate case delivers immediately.
   if (sys_->config().orderers == 1) {
@@ -425,6 +507,7 @@ void FabricOrderer::CloseBatch(std::vector<EndorsedTx> batch) {
     blk->block_no = index;
     blk->txs = txs;
     ordered_txs_ += txs->size();
+    block_store_[index] = txs;
     for (NodeId p : sys_->peer_ids()) Send(p, blk);
     delivered_.insert(index);
     inflight_.erase(index);

@@ -29,6 +29,12 @@ struct FabricConfig {
   int batch_size = 100;
   SimTime batch_timeout_us = 2000;
   uint64_t seed = 1;
+  /// Peer block catch-up: peers poll the ordering service for blocks at
+  /// or above their application frontier every `peer_catchup_period_us`
+  /// (and immediately on detecting a gap in the delivered stream), so a
+  /// block lost on the wire no longer wedges the peer forever. 0
+  /// disables catch-up (the pre-state-transfer behavior).
+  SimTime peer_catchup_period_us = 100 * kMillisecond;
 };
 
 class FabricPeer;
@@ -98,6 +104,7 @@ class FabricPeer : public Actor {
              EnterpriseId enterprise);
 
   void OnMessage(NodeId from, const MessageRef& msg) override;
+  void OnTimer(uint64_t tag, uint64_t payload) override;
 
   uint64_t valid_txs() const { return valid_txs_; }
   uint64_t invalid_txs() const { return invalid_txs_; }
@@ -115,12 +122,20 @@ class FabricPeer : public Actor {
   SimTime CostOf(const Message& msg) const override;
 
  private:
+  static constexpr uint64_t kTagCatchup = 1;
+
   void HandleEndorse(NodeId from, const EndorseReqMsg& m);
   /// Admission: the ordering service's stream is consumed in block-number
   /// order. Duplicates are dropped and out-of-order deliveries (datagram
   /// transport artifacts under fault injection) are buffered until their
-  /// predecessors arrive.
+  /// predecessors arrive. A buffered successor whose predecessor was
+  /// lost (not merely reordered) triggers an immediate catch-up fetch.
   void HandleBlock(const MessageRef& msg);
+  /// Asks the ordering service for blocks >= next_block_. Sent on gap
+  /// detection and on the periodic poll; the orderer answers only when
+  /// it has something newer, so a current peer costs one tiny message
+  /// per period.
+  void RequestMissingBlocks();
   void ApplyBlock(const OrderedBlockMsg& m);
   /// Fabric++ intra-block reordering: returns the validation order and
   /// flags transactions early-aborted on w-w conflicts.
@@ -136,6 +151,11 @@ class FabricPeer : public Actor {
   // In-order admission of ordered blocks (see HandleBlock).
   uint64_t next_block_ = 1;
   std::map<uint64_t, std::shared_ptr<const OrderedBlockMsg>> held_blocks_;
+  /// Grace marker for gap-triggered fetches: a predecessor that is
+  /// merely reordered arrives within a delivery or two, so only a gap
+  /// that persists across consecutive block arrivals triggers an
+  /// immediate fetch (the periodic poll is the backstop).
+  bool had_gap_ = false;
   std::map<uint64_t, Sha256Digest> block_log_;
   // Valid-committed transaction ids; a second valid commit of the same id
   // is a safety violation surfaced via the fabric.safety.double_commit
@@ -166,12 +186,29 @@ class FabricOrderer : public Actor {
 
  private:
   static constexpr uint64_t kTagBatch = 1;
+  /// Raft append retransmission: the leader re-sends AppendEntries for a
+  /// block that has not reached a majority yet. Without it one lost
+  /// append under network-wide loss wedges the ordering service forever
+  /// (that block never delivers, and peers hold everything after it).
+  static constexpr uint64_t kTagRaftRetry = 2;
   /// Batcher flush sink: cuts the block and replicates it via Raft.
   void CloseBatch(std::vector<EndorsedTx> txs);
+  void SendAppend(uint64_t index);
+
+  /// Serves a peer's catch-up fetch from the retained block log.
+  void HandleBlockFetch(NodeId from, const BlockFetchReqMsg& m);
 
   /// Request dedup on the leader: at-most-once ordering per (client, ts)
   /// even when the transport duplicates submissions.
   std::set<std::pair<NodeId, uint64_t>> seen_submits_;
+  /// Delivered blocks retained for peer catch-up (the ordering service's
+  /// block store; peers fetch missed ranges from here). Each periodic
+  /// fetch reports the peer's application frontier, so the store is
+  /// trimmed below the slowest peer once every peer has reported —
+  /// bounded retention instead of the whole ordered history.
+  std::map<uint64_t, std::shared_ptr<const std::vector<EndorsedTx>>>
+      block_store_;
+  std::map<NodeId, uint64_t> peer_frontier_;
   /// Fabric++ early abort: the orderer tracks the last block that wrote
   /// each key; a submission whose read versions are already stale is
   /// dropped at a fraction of the ordering cost, freeing capacity for

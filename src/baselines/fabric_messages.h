@@ -76,6 +76,18 @@ struct RaftAppendRespMsg : Message {
   bool ok = true;
 };
 
+/// Peer -> ordering service: block catch-up. A peer that detects a gap
+/// in the delivered stream (or polls while idle) asks for every retained
+/// block at or above `from_block`; the orderer resends them as ordinary
+/// OrderedBlockMsg deliveries and stays silent when it has nothing newer.
+struct BlockFetchReqMsg : Message {
+  BlockFetchReqMsg() : Message(MsgType::kBlockFetchReq) {
+    sig_verify_ops = 0;
+    wire_bytes = 48;
+  }
+  uint64_t from_block = 1;
+};
+
 /// Committing peer -> client: per-transaction validation outcome.
 struct ValidateDoneMsg : Message {
   ValidateDoneMsg() : Message(MsgType::kValidateDone) {}

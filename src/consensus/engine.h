@@ -3,10 +3,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "consensus/messages.h"
 #include "consensus/value.h"
 #include "sim/env.h"
 #include "sim/message.h"
@@ -63,6 +65,20 @@ struct EngineContext {
   /// inside the engine and start as earlier slots commit. 0 = unbounded.
   size_t pipeline_depth = 0;
 
+  /// Certified checkpoints: every `checkpoint_interval` delivered slots a
+  /// replica broadcasts a signed CHECKPOINT vote over its history digest;
+  /// a quorum of matching votes makes the checkpoint stable, garbage-
+  /// collecting per-slot consensus state and anchoring state transfer.
+  /// 0 disables checkpointing.
+  size_t checkpoint_interval = 0;
+
+  /// Host hook: the engine learned — from a stable checkpoint certificate
+  /// — that the cluster's certified frontier lies beyond this replica's,
+  /// or its per-slot fills stalled below a peer's GC floor. The host
+  /// should fetch ledger state from a peer and then feed the certificate
+  /// it received back through InstallCheckpoint.
+  std::function<void(const CheckpointCertificate&)> request_state_transfer;
+
   std::function<void(NodeId, MessageRef)> send;
   /// Multicast to every *other* ordering node of the cluster.
   std::function<void(MessageRef)> broadcast;
@@ -92,6 +108,15 @@ class InternalConsensus {
   /// Timer callback relayed by the host (tags >= kEngineTimerBase).
   virtual void OnTimer(uint64_t tag, uint64_t payload) = 0;
 
+  /// Host crash notification: every timer armed so far died with the
+  /// crash epoch, so armed-flags must reset or the machinery they guard
+  /// (gap fills, slot watchdogs, view fetches) stays disabled forever in
+  /// the recovered life.
+  virtual void OnHostCrash() {}
+  /// Host recovery notification: re-arm whatever the current state
+  /// warrants (a detected gap, a half-finished takeover).
+  virtual void OnHostRecover() {}
+
   /// External suspicion hook: the host observed the primary failing to
   /// make progress on work it is responsible for (e.g. a relayed client
   /// request that never showed up in a proposal). PBFT casts a view-change
@@ -120,11 +145,73 @@ class InternalConsensus {
   /// Proposals waiting behind the pipeline-depth cap.
   virtual size_t QueuedProposals() const { return 0; }
 
+  // ---- certified checkpoints (shared by both engines) -----------------
+
+  /// Latest stable checkpoint (slot 0 = none yet): a quorum attested the
+  /// first `slot` slots delivered with history digest `digest`.
+  const CheckpointCertificate& stable_checkpoint() const { return stable_; }
+  /// Highest slot whose per-slot consensus state was garbage-collected
+  /// (always == stable_checkpoint().slot: GC happens only at stability,
+  /// never below a merely-proposed checkpoint).
+  uint64_t gc_floor() const { return gc_floor_; }
+  /// Running history digest over every delivered slot's value digest.
+  const Sha256Digest& history_digest() const { return ckpt_history_; }
+
+  /// Test/audit surface: is per-slot state for `slot` still retained?
+  virtual bool HasSlotState(uint64_t) const { return false; }
+
+  /// Installs a verified stable checkpoint, called by the host after it
+  /// fetched and installed the corresponding ledger state from a peer.
+  /// Verifies the certificate (quorum of distinct valid signatures),
+  /// advances the delivery frontier past the certified slot when behind,
+  /// and garbage-collects. Returns false on an invalid certificate.
+  bool InstallCheckpoint(const CheckpointCertificate& cert);
+
   static constexpr uint64_t kEngineTimerBase = 1u << 20;
 
  protected:
   size_t ClusterSize() const { return ctx_.cluster.size(); }
+
+  /// Folds a delivered slot into the history digest; at interval
+  /// boundaries broadcasts a CHECKPOINT vote (and self-tallies it).
+  void NoteDelivered(uint64_t slot, const Sha256Digest& value_digest);
+  /// Feeds a CHECKPOINT message: a carried certificate is processed
+  /// directly; a vote is verified and tallied toward stability.
+  void HandleCheckpoint(NodeId from, const CheckpointMsg& m);
+
+  /// CFT engines authenticate with MACs: checkpoint votes then charge no
+  /// signature verification at the receiver.
+  virtual bool CheapCheckpointAuth() const { return false; }
+  /// Engine hook: drop per-slot consensus state at or below `slot`.
+  virtual void GarbageCollectBelow(uint64_t slot) = 0;
+  /// Engine hook: jump the delivery frontier to the certified `slot`
+  /// (the host already installed the application state).
+  virtual void AdvanceFrontierTo(uint64_t slot) = 0;
+  /// Engine hook: flush deliveries/proposals unblocked by an installed
+  /// checkpoint (committed slots above it, queued proposals).
+  virtual void ResumeAfterInstall() {}
+
   EngineContext ctx_;
+
+ private:
+  void RecordCheckpointVote(uint64_t slot, const Sha256Digest& digest,
+                            const Signature& sig);
+  /// A stable certificate appeared (own tally, a peer's carried cert, or
+  /// a promise): adopt + GC if at/below our frontier, otherwise ask the
+  /// host for state transfer.
+  void ProcessStable(const CheckpointCertificate& cert);
+  void AdoptStable(const CheckpointCertificate& cert);
+
+  Sha256Digest ckpt_history_;
+  /// Our own history digest at each interval boundary we delivered.
+  std::map<uint64_t, Sha256Digest> ckpt_own_;
+  struct CkptTally {
+    Sha256Digest digest;
+    VoteSet votes;
+  };
+  std::map<uint64_t, std::vector<CkptTally>> ckpt_votes_;
+  CheckpointCertificate stable_;
+  uint64_t gc_floor_ = 0;
 };
 
 }  // namespace qanaat

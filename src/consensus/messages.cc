@@ -6,6 +6,8 @@
 
 #include "consensus/messages.h"
 
+#include <algorithm>
+
 #include "consensus/value.h"
 
 namespace qanaat {
@@ -285,6 +287,7 @@ void PaxosPromiseMsg::EncodeTo(Encoder* enc) const {
   enc->PutU64(ballot);
   enc->PutU32(static_cast<uint32_t>(accepted.size()));
   for (const auto& a : accepted) a.EncodeTo(enc);
+  stable.EncodeTo(enc);
 }
 
 bool PaxosPromiseMsg::DecodeFrom(Decoder* dec, PaxosPromiseMsg* out) {
@@ -296,16 +299,126 @@ bool PaxosPromiseMsg::DecodeFrom(Decoder* dec, PaxosPromiseMsg* out) {
   for (auto& a : out->accepted) {
     if (!PaxosAcceptedSlot::DecodeFrom(dec, &a)) return false;
   }
+  return CheckpointCertificate::DecodeFrom(dec, &out->stable);
+}
+
+// ------------------------------------- checkpoints + state transfer
+
+bool CheckpointCertificate::Valid(const KeyStore& ks, size_t quorum) const {
+  if (empty() || sigs.size() < quorum) return false;
+  Sha256Digest covered = CheckpointSignable(slot, digest);
+  std::vector<NodeId> signers;
+  for (const auto& s : sigs) {
+    if (!ks.Verify(s, covered)) return false;
+    signers.push_back(s.signer);
+  }
+  std::sort(signers.begin(), signers.end());
+  signers.erase(std::unique(signers.begin(), signers.end()), signers.end());
+  return signers.size() >= quorum;
+}
+
+void CheckpointCertificate::EncodeTo(Encoder* enc) const {
+  enc->PutU64(slot);
+  EncodeDigestTo(enc, digest);
+  enc->PutU16(static_cast<uint16_t>(sigs.size()));
+  for (const auto& s : sigs) s.EncodeTo(enc);
+}
+
+bool CheckpointCertificate::DecodeFrom(Decoder* dec,
+                                       CheckpointCertificate* out) {
+  if (!dec->GetU64(&out->slot) || !DecodeDigestFrom(dec, &out->digest)) {
+    return false;
+  }
+  uint16_t n;
+  if (!dec->GetU16(&n)) return false;
+  if (n > dec->remaining()) return false;
+  out->sigs.resize(n);
+  for (auto& s : out->sigs) {
+    if (!Signature::DecodeFrom(dec, &s)) return false;
+  }
+  return true;
+}
+
+void CheckpointMsg::EncodeTo(Encoder* enc) const {
+  enc->PutU64(slot);
+  EncodeDigestTo(enc, digest);
+  sig.EncodeTo(enc);
+  cert.EncodeTo(enc);
+}
+
+bool CheckpointMsg::DecodeFrom(Decoder* dec, CheckpointMsg* out) {
+  return dec->GetU64(&out->slot) && DecodeDigestFrom(dec, &out->digest) &&
+         Signature::DecodeFrom(dec, &out->sig) &&
+         CheckpointCertificate::DecodeFrom(dec, &out->cert);
+}
+
+void StateRequestMsg::EncodeTo(Encoder* enc) const {
+  enc->PutU32(static_cast<uint32_t>(heads.size()));
+  for (const auto& h : heads) {
+    h.collection.EncodeTo(enc);
+    enc->PutU16(h.shard);
+    enc->PutU64(h.head);
+  }
+  enc->PutU64(frontier);
+}
+
+bool StateRequestMsg::DecodeFrom(Decoder* dec, StateRequestMsg* out) {
+  uint32_t n;
+  if (!dec->GetU32(&n)) return false;
+  if (n > dec->remaining()) return false;
+  out->heads.resize(n);
+  for (auto& h : out->heads) {
+    if (!CollectionId::DecodeFrom(dec, &h.collection) ||
+        !dec->GetU16(&h.shard) || !dec->GetU64(&h.head)) {
+      return false;
+    }
+  }
+  return dec->GetU64(&out->frontier);
+}
+
+void StateReplyMsg::EncodeTo(Encoder* enc) const {
+  ckpt.EncodeTo(enc);
+  enc->PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    EncodeBlockPtr(enc, e.block);
+    e.cert.EncodeTo(enc);
+    e.alpha.EncodeTo(enc);
+    enc->PutU16(static_cast<uint16_t>(e.gamma.size()));
+    for (const auto& g : e.gamma) g.EncodeTo(enc);
+  }
+}
+
+bool StateReplyMsg::DecodeFrom(Decoder* dec, StateReplyMsg* out) {
+  if (!CheckpointCertificate::DecodeFrom(dec, &out->ckpt)) return false;
+  uint32_t n;
+  if (!dec->GetU32(&n)) return false;
+  if (n > dec->remaining()) return false;
+  out->entries.resize(n);
+  for (auto& e : out->entries) {
+    if (!DecodeBlockPtr(dec, &e.block)) return false;
+    if (e.block == nullptr) return false;  // entries always carry a block
+    if (!CommitCertificate::DecodeFrom(dec, &e.cert)) return false;
+    if (!LocalPart::DecodeFrom(dec, &e.alpha)) return false;
+    uint16_t ng;
+    if (!dec->GetU16(&ng)) return false;
+    if (ng > dec->remaining()) return false;
+    e.gamma.resize(ng);
+    for (auto& g : e.gamma) {
+      if (!GammaEntry::DecodeFrom(dec, &g)) return false;
+    }
+  }
   return true;
 }
 
 void FillRequestMsg::EncodeTo(Encoder* enc) const {
   enc->PutU64(from_slot);
   enc->PutU64(to_slot);
+  enc->PutU64(want_view);
 }
 
 bool FillRequestMsg::DecodeFrom(Decoder* dec, FillRequestMsg* out) {
-  return dec->GetU64(&out->from_slot) && dec->GetU64(&out->to_slot);
+  return dec->GetU64(&out->from_slot) && dec->GetU64(&out->to_slot) &&
+         dec->GetU64(&out->want_view);
 }
 
 void FillReplyMsg::EncodeTo(Encoder* enc) const {

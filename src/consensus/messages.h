@@ -50,6 +50,45 @@ struct ReplyCertMsg : Message {
   static bool DecodeFrom(Decoder* dec, ReplyCertMsg* out);
 };
 
+// ------------------------------------- checkpoints + state transfer
+
+/// Certificate of a stable checkpoint: `sigs` are matching CHECKPOINT
+/// votes from a quorum of distinct cluster members over
+/// CheckpointSignable(slot, digest), where `digest` chains the value
+/// digests of every slot delivered up to `slot`. Self-certifying: a
+/// recovering replica can accept it from a single (possibly faulty) peer.
+struct CheckpointCertificate {
+  uint64_t slot = 0;
+  Sha256Digest digest;
+  std::vector<Signature> sigs;
+
+  bool empty() const { return slot == 0; }
+  /// Valid iff >= quorum distinct valid signatures over the signable.
+  bool Valid(const KeyStore& ks, size_t quorum) const;
+
+  uint32_t WireSize() const {
+    return static_cast<uint32_t>(44 + sigs.size() * 20);
+  }
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, CheckpointCertificate* out);
+};
+
+/// Engine-level checkpoint vote, broadcast every checkpoint_interval
+/// delivered slots. When `cert` is non-empty the message instead carries
+/// an already-stable certificate — sent to a replica whose fill request
+/// fell below the sender's garbage-collection floor, telling it to state-
+/// transfer rather than wait for per-slot fills that can never come.
+struct CheckpointMsg : Message {
+  CheckpointMsg() : Message(MsgType::kCheckpoint) {}
+  uint64_t slot = 0;
+  Sha256Digest digest;
+  Signature sig;
+  CheckpointCertificate cert;  // empty for a plain vote
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, CheckpointMsg* out);
+};
+
 // --------------------------------------------------------- PBFT messages
 
 struct PrePrepareMsg : Message {
@@ -183,23 +222,75 @@ struct PaxosAcceptedSlot {
 
 /// Phase-1b promise: the follower will never accept a ballot below
 /// `ballot` again, and reports every undelivered value it has accepted.
+/// `stable` carries the follower's stable checkpoint: a usurper whose
+/// frontier lies below it must state-transfer first — the follower has
+/// garbage-collected those slots, so re-driving them with no-op fills
+/// would wedge the takeover (delivered replicas only re-ack the decided
+/// values, which the usurper no longer can learn per slot).
 struct PaxosPromiseMsg : Message {
   PaxosPromiseMsg() : Message(MsgType::kPaxosPromise) { sig_verify_ops = 0; }
   uint64_t ballot = 0;
   std::vector<PaxosAcceptedSlot> accepted;
+  CheckpointCertificate stable;  // empty when none
 
   void EncodeTo(Encoder* enc) const;
   static bool DecodeFrom(Decoder* dec, PaxosPromiseMsg* out);
 };
 
+/// Host-level state transfer request: a recovering (or gap-stuck) replica
+/// reports its per-chain committed heads and its consensus delivery
+/// frontier; any peer of the cluster answers with what it is missing.
+struct StateRequestMsg : Message {
+  StateRequestMsg() : Message(MsgType::kStateRequest) {
+    sig_verify_ops = 0;
+  }
+  struct ChainHead {
+    CollectionId collection;
+    ShardId shard = 0;
+    SeqNo head = 0;
+  };
+  std::vector<ChainHead> heads;
+  uint64_t frontier = 0;  // engine LastDelivered()
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, StateRequestMsg* out);
+};
+
+/// Host-level state transfer reply: the serving peer's stable checkpoint
+/// certificate plus every ledger entry above the requester's heads. Each
+/// entry is self-certifying — its commit certificate covers the block
+/// digest recomputed from the transferred bytes — so a single faulty
+/// peer cannot inject a fake block, and the requester re-executes the
+/// blocks to rebuild its multi-versioned store deterministically.
+struct StateReplyMsg : Message {
+  StateReplyMsg() : Message(MsgType::kStateReply) {}
+  struct Entry {
+    BlockPtr block;
+    CommitCertificate cert;
+    LocalPart alpha;
+    std::vector<GammaEntry> gamma;
+  };
+  CheckpointCertificate ckpt;  // may be empty (no stable checkpoint yet)
+  std::vector<Entry> entries;  // per chain, ascending sequence numbers
+
+  void EncodeTo(Encoder* enc) const;
+  static bool DecodeFrom(Decoder* dec, StateReplyMsg* out);
+};
+
 /// Gap catch-up request: a replica whose delivery frontier is stuck —
 /// later slots committed but an earlier one never arrived (its messages
 /// were lost while the node was partitioned, crashed, or unlucky) — asks
-/// a peer for the decided slots in [from_slot, to_slot].
+/// a peer for the decided slots in [from_slot, to_slot]. With
+/// `want_view` non-zero the request additionally asks for view
+/// synchronization: the peer re-sends the latest NEW-VIEW it processed
+/// (self-certifying — signed by that view's primary), un-wedging a
+/// recovered replica stuck in an old view that nothing else would ever
+/// tell about the change.
 struct FillRequestMsg : Message {
   FillRequestMsg() : Message(MsgType::kFillRequest) { sig_verify_ops = 0; }
   uint64_t from_slot = 0;
   uint64_t to_slot = 0;
+  uint64_t want_view = 0;
 
   void EncodeTo(Encoder* enc) const;
   static bool DecodeFrom(Decoder* dec, FillRequestMsg* out);

@@ -91,6 +91,9 @@ void PaxosEngine::OnMessage(NodeId from, const MessageRef& msg) {
     case MsgType::kPaxosPromise:
       HandlePromise(from, *msg->As<PaxosPromiseMsg>());
       break;
+    case MsgType::kCheckpoint:
+      HandleCheckpoint(from, *msg->As<CheckpointMsg>());
+      break;
     default:
       break;
   }
@@ -120,6 +123,17 @@ void PaxosEngine::HandleAccept(NodeId from, const PaxosAcceptMsg& m) {
   promised_ = std::max(promised_, m.ballot);
   ObserveBallot(m.ballot);
   if (from != PrimaryNode()) return;
+  if (m.slot <= last_delivered_ && !slots_.count(m.slot)) {
+    // Delivered and garbage-collected: the leader is refreshing a slot we
+    // already applied. Ack it so its catch-up can quorum; CFT leaders are
+    // honest, and post-phase-1 re-drives carry only decided values.
+    auto resp = std::make_shared<PaxosAcceptedMsg>();
+    resp->ballot = m.ballot;
+    resp->slot = m.slot;
+    resp->value_digest = m.value_digest;
+    ctx_.send(from, resp);
+    return;
+  }
   SlotState& st = slots_[m.slot];
   if (st.delivered) {
     // Already applied here, but the (new) leader may be re-driving the
@@ -180,6 +194,7 @@ void PaxosEngine::HandleAccepted(NodeId from, const PaxosAcceptedMsg& m) {
 void PaxosEngine::HandleLearn(NodeId from, const PaxosLearnMsg& m) {
   if (from != ctx_.cluster[m.ballot % ClusterSize()]) return;
   ObserveBallot(m.ballot);
+  if (m.slot <= last_delivered_) return;  // delivered (possibly GC'd)
   SlotState& st = slots_[m.slot];
   if (!st.have_value || st.digest != m.value_digest) {
     // Value not seen yet (the LEARN overtook its ACCEPT). Buffer the
@@ -203,9 +218,35 @@ void PaxosEngine::DeliverReady() {
     }
     it->second.delivered = true;
     ++last_delivered_;
+    Sha256Digest vd = it->second.digest;
     ctx_.deliver(it->first, it->second.value);
+    NoteDelivered(last_delivered_, vd);
   }
   MaybeArmGapTimer();
+}
+
+void PaxosEngine::GarbageCollectBelow(uint64_t slot) {
+  slots_.erase(slots_.begin(), slots_.upper_bound(slot));
+  my_open_slots_.erase(my_open_slots_.begin(),
+                       my_open_slots_.upper_bound(slot));
+  gathered_.erase(gathered_.begin(), gathered_.upper_bound(slot));
+}
+
+void PaxosEngine::AdvanceFrontierTo(uint64_t slot) {
+  last_delivered_ = slot;
+  max_learned_ = std::max(max_learned_, slot);
+  next_slot_ = std::max(next_slot_, slot + 1);
+}
+
+void PaxosEngine::ResumeAfterInstall() {
+  DeliverReady();
+  // A takeover parked behind the transfer can finish now: the certified
+  // frontier is installed, so phase-1 no longer spans GC'd slots.
+  if (awaiting_transfer_ <= last_delivered_ && !leading_ && IsPrimary() &&
+      promises_.size() >= Quorum()) {
+    FinishTakeover();
+  }
+  DrainProposeQueue();
 }
 
 void PaxosEngine::MaybeArmGapTimer() {
@@ -232,6 +273,22 @@ void PaxosEngine::SuspectPrimary() {
   if (IsPrimary()) return;
   ctx_.env->metrics.Inc("paxos.suspect_takeover");
   TakeOver();
+}
+
+void PaxosEngine::OnHostCrash() {
+  // Armed-timer flags must not outlive the timers (the crash epoch kills
+  // every pending one), or gap detection stays disabled after recovery.
+  gap_timer_armed_ = false;
+  for (auto& [slot, st] : slots_) st.timer_armed = false;
+}
+
+void PaxosEngine::OnHostRecover() {
+  MaybeArmGapTimer();
+  if (IsPrimary() && !leading_ && ballot_ > 0) {
+    // Mid-takeover crash: the phase-1 retry timer died with the old
+    // life; restart the solicitation or the ballot stalls forever.
+    ctx_.start_timer(base_timeout_, kTagTakeoverRetry, ballot_);
+  }
 }
 
 void PaxosEngine::OnTimer(uint64_t tag, uint64_t payload) {
@@ -330,7 +387,10 @@ void PaxosEngine::HandlePrepare(NodeId from, const PaxosPrepareMsg& m) {
     bytes += 48 + st.value.WireSize();
     pr->accepted.push_back(std::move(a));
   }
-  pr->wire_bytes = bytes;
+  // Report our stable checkpoint: a usurper below it cannot learn the
+  // GC'd slots per slot and must state-transfer before driving anything.
+  pr->stable = stable_checkpoint();
+  pr->wire_bytes = bytes + pr->stable.WireSize();
   ctx_.send(from, pr);
 }
 
@@ -341,7 +401,21 @@ void PaxosEngine::HandlePromise(NodeId from, const PaxosPromiseMsg& m) {
       MergeGathered(a.slot, a.ballot, a.value, a.digest);
     }
   }
+  if (m.stable.slot > last_delivered_ && ctx_.request_state_transfer &&
+      m.stable.Valid(ctx_.env->keystore, Quorum())) {
+    // The follower certified a frontier beyond ours and has GC'd the
+    // slots below it: park the takeover until state transfer installs
+    // the checkpoint (ResumeAfterInstall un-parks it). Re-request on
+    // EVERY such promise — the takeover-retry loop keeps soliciting
+    // them, so a transfer request or reply lost on the wire is retried
+    // instead of wedging the parked ballot forever (the host dedups
+    // concurrent requests).
+    awaiting_transfer_ = std::max(awaiting_transfer_, m.stable.slot);
+    ctx_.env->metrics.Inc("paxos.takeover_awaits_transfer");
+    ctx_.request_state_transfer(m.stable);
+  }
   promises_.insert(from);
+  if (awaiting_transfer_ > last_delivered_) return;
   if (promises_.size() >= Quorum()) FinishTakeover();
 }
 

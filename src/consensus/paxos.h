@@ -39,6 +39,8 @@ class PaxosEngine : public InternalConsensus {
   void OnMessage(NodeId from, const MessageRef& msg) override;
   void OnTimer(uint64_t tag, uint64_t payload) override;
   void SuspectPrimary() override;
+  void OnHostCrash() override;
+  void OnHostRecover() override;
 
   bool IsPrimary() const override {
     return ctx_.cluster[ballot_ % ClusterSize()] == ctx_.self;
@@ -58,6 +60,19 @@ class PaxosEngine : public InternalConsensus {
   size_t QueuedProposals() const override { return propose_queue_.size(); }
   /// Phase-1 complete for the current ballot (we may drive slots).
   bool leading() const { return leading_; }
+
+  bool HasSlotState(uint64_t slot) const override {
+    return slots_.count(slot) > 0;
+  }
+  size_t retained_slots() const { return slots_.size(); }
+
+ protected:
+  /// CFT clusters authenticate with MACs; checkpoint votes are free to
+  /// verify like every other Paxos message.
+  bool CheapCheckpointAuth() const override { return true; }
+  void GarbageCollectBelow(uint64_t slot) override;
+  void AdvanceFrontierTo(uint64_t slot) override;
+  void ResumeAfterInstall() override;
 
  private:
   struct SlotState {
@@ -123,6 +138,11 @@ class PaxosEngine : public InternalConsensus {
   uint64_t last_delivered_ = 0;
   uint64_t max_learned_ = 0;
   bool gap_timer_armed_ = false;
+  /// A promise revealed a stable checkpoint beyond our frontier: the
+  /// takeover must wait for host state transfer — finishing phase-1 now
+  /// would no-op-fill slots the quorum has garbage-collected, and those
+  /// fills can never gather acks from delivered replicas.
+  uint64_t awaiting_transfer_ = 0;
   std::map<uint64_t, SlotState> slots_;
   // Phase-1 state for ballot_ (valid while !leading_ and we own ballot_).
   std::set<NodeId> promises_;

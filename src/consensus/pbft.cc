@@ -111,14 +111,44 @@ void PbftEngine::SuspectPrimary() {
   StartViewChange(view_ + 1, /*lone_suspicion=*/true);
 }
 
+void PbftEngine::OnHostCrash() {
+  // Armed-timer flags must not outlive the timers themselves (the crash
+  // epoch kills every pending one) — a stale true here would disable the
+  // gap-fill / view-fetch machinery for the whole recovered life.
+  gap_timer_armed_ = false;
+  view_fetch_armed_ = false;
+  fill_stalls_ = 0;
+  // A half-done view change dies with the process: its escalation
+  // watchdog is gone, so staying in_view_change_ would wedge normal-case
+  // handling forever. The recovered replica rejoins the current view and
+  // re-suspects if the primary is really gone.
+  in_view_change_ = false;
+  for (auto& [slot, st] : slots_) st.timer_armed = false;
+}
+
+void PbftEngine::OnHostRecover() {
+  MaybeRequestFill();
+  MaybeFetchView();
+}
+
 void PbftEngine::OnTimer(uint64_t tag, uint64_t payload) {
   if (tag == kTagGapFill) {
     gap_timer_armed_ = false;
     if (last_delivered_ > payload) {
+      fill_stalls_ = 0;
       MaybeRequestFill();  // progressed on its own; recheck later
       return;
     }
     if (max_committed_ <= last_delivered_) return;
+    if (++fill_stalls_ > 3 && ctx_.request_state_transfer) {
+      // Per-slot fills are going nowhere — the missing slots may be
+      // below every live peer's GC floor. Escalate to state transfer.
+      fill_stalls_ = 0;
+      ctx_.env->metrics.Inc("pbft.fill_escalated");
+      ctx_.request_state_transfer(stable_checkpoint());
+      MaybeRequestFill();
+      return;
+    }
     ctx_.env->metrics.Inc("pbft.fill_requested");
     auto req = std::make_shared<FillRequestMsg>();
     req->from_slot = last_delivered_ + 1;
@@ -130,6 +160,22 @@ void PbftEngine::OnTimer(uint64_t tag, uint64_t payload) {
     }
     if (peer != ctx_.self) ctx_.send(peer, req);
     MaybeRequestFill();  // re-arm until the gap closes
+    return;
+  }
+  if (tag == kTagViewFetch) {
+    view_fetch_armed_ = false;
+    if (view_ >= payload) return;  // the view installed on its own
+    ctx_.env->metrics.Inc("pbft.view_fetch");
+    auto req = std::make_shared<FillRequestMsg>();
+    req->want_view = view_ + 1;
+    NodeId peer = ctx_.self;
+    for (int i = 0; i < static_cast<int>(ClusterSize()) && peer == ctx_.self;
+         ++i) {
+      peer = ctx_.cluster[(ctx_.self_index + 1 + view_fetch_rr_++) %
+                          ClusterSize()];
+    }
+    if (peer != ctx_.self) ctx_.send(peer, req);
+    MaybeFetchView();  // re-arm until the view catches up
     return;
   }
   if (tag == kTagVcTimeout) {
@@ -215,6 +261,7 @@ void PbftEngine::OnMessage(NodeId from, const MessageRef& msg) {
   }
   if (msg_view > view_) {
     if (future_msgs_.size() < 10000) future_msgs_.emplace_back(from, msg);
+    MaybeFetchView();
     return;
   }
   switch (msg->type) {
@@ -239,6 +286,9 @@ void PbftEngine::OnMessage(NodeId from, const MessageRef& msg) {
     case MsgType::kFillReply:
       HandleFillReply(from, *msg->As<FillReplyMsg>());
       break;
+    case MsgType::kCheckpoint:
+      HandleCheckpoint(from, *msg->As<CheckpointMsg>());
+      break;
     default:
       break;
   }
@@ -247,6 +297,9 @@ void PbftEngine::OnMessage(NodeId from, const MessageRef& msg) {
 void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
   if (m.view != view_ || in_view_change_) return;
   if (from != PrimaryNode()) return;
+  // Delivered (possibly GC'd) slot: nothing to do, and touching slots_
+  // would resurrect an entry below the GC floor.
+  if (m.slot <= last_delivered_) return;
   if (!ctx_.env->keystore.Verify(m.sig,
                                  SignableDigest(m.view, m.slot,
                                                 m.value_digest))) {
@@ -283,6 +336,7 @@ void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
 
 void PbftEngine::HandlePrepare(NodeId from, const PrepareMsg& m) {
   if (m.view != view_ || in_view_change_) return;
+  if (m.slot <= last_delivered_) return;  // delivered (possibly GC'd)
   if (!ctx_.env->keystore.Verify(
           m.sig, SignableDigest(m.view, m.slot, m.value_digest))) {
     ctx_.env->metrics.Inc("pbft.bad_sig");
@@ -321,6 +375,7 @@ void PbftEngine::MaybePrepared(uint64_t slot, SlotState& st) {
 
 void PbftEngine::HandleCommit(NodeId from, const CommitMsg& m) {
   if (m.view != view_ || in_view_change_) return;
+  if (m.slot <= last_delivered_) return;  // delivered (possibly GC'd)
   if (!ctx_.env->keystore.Verify(
           m.sig, SignableDigest(m.view, m.slot, m.value_digest))) {
     ctx_.env->metrics.Inc("pbft.bad_sig");
@@ -352,9 +407,34 @@ void PbftEngine::DeliverReady() {
     }
     it->second.delivered = true;
     ++last_delivered_;
+    fill_stalls_ = 0;
+    Sha256Digest vd = it->second.digest;
     ctx_.deliver(it->first, it->second.value);
+    NoteDelivered(last_delivered_, vd);
   }
   MaybeRequestFill();
+}
+
+void PbftEngine::GarbageCollectBelow(uint64_t slot) {
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = it->first <= slot ? slots_.erase(it) : std::next(it);
+  }
+  my_open_slots_.erase(my_open_slots_.begin(),
+                       my_open_slots_.upper_bound(slot));
+}
+
+void PbftEngine::AdvanceFrontierTo(uint64_t slot) {
+  last_delivered_ = slot;
+  max_committed_ = std::max(max_committed_, slot);
+  next_slot_ = std::max(next_slot_, slot + 1);
+  fill_stalls_ = 0;
+}
+
+void PbftEngine::ResumeAfterInstall() {
+  // Slots above the installed checkpoint may already be committed
+  // locally (they arrived while the transfer ran) — flush them now.
+  DeliverReady();
+  DrainProposeQueue();
 }
 
 void PbftEngine::MaybeRequestFill() {
@@ -366,7 +446,52 @@ void PbftEngine::MaybeRequestFill() {
   ctx_.start_timer(base_timeout_ / 2, kTagGapFill, last_delivered_);
 }
 
+void PbftEngine::MaybeFetchView() {
+  // Arm one fetch per wedge episode: buffered future messages prove a
+  // view beyond ours installed somewhere, and if the NEW-VIEW were
+  // merely in flight it would arrive well within a timeout.
+  if (view_fetch_armed_ || future_msgs_.empty()) return;
+  ViewNo target = view_;
+  for (const auto& [sender, msg] : future_msgs_) {
+    switch (msg->type) {
+      case MsgType::kPrePrepare:
+        target = std::max(target, msg->As<PrePrepareMsg>()->view);
+        break;
+      case MsgType::kPrepare:
+        target = std::max(target, msg->As<PrepareMsg>()->view);
+        break;
+      case MsgType::kCommit:
+        target = std::max(target, msg->As<CommitMsg>()->view);
+        break;
+      default:
+        break;
+    }
+  }
+  if (target <= view_) return;
+  view_fetch_armed_ = true;
+  ctx_.start_timer(base_timeout_, kTagViewFetch, target);
+}
+
 void PbftEngine::HandleFillRequest(NodeId from, const FillRequestMsg& m) {
+  if (m.want_view > 0) {
+    if (last_new_view_msg_ != nullptr &&
+        last_new_view_msg_->new_view >= m.want_view) {
+      ctx_.env->metrics.Inc("pbft.view_served");
+      ctx_.send(from, last_new_view_msg_);
+    }
+    if (m.to_slot == 0) return;  // pure view-sync request
+  }
+  if (m.from_slot <= gc_floor() && !stable_checkpoint().empty()) {
+    // The requested window starts below our GC floor: those slots no
+    // longer exist per slot here. Send the stable checkpoint certificate
+    // instead — the requester verifies it and state-transfers.
+    ctx_.env->metrics.Inc("pbft.fill_below_gc");
+    auto ck = std::make_shared<CheckpointMsg>();
+    ck->cert = stable_checkpoint();
+    ck->wire_bytes = 48 + ck->cert.WireSize();
+    ck->sig_verify_ops = static_cast<uint16_t>(ck->cert.sigs.size());
+    ctx_.send(from, ck);
+  }
   uint64_t to = std::min(m.to_slot, m.from_slot + 16);
   for (uint64_t slot = m.from_slot; slot <= to; ++slot) {
     auto it = slots_.find(slot);
@@ -476,12 +601,17 @@ void PbftEngine::HandleViewChange(NodeId from, const ViewChangeMsg& m) {
 }
 
 void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
+  (void)from;
   if (m.new_view < view_) return;
   // Process each view's NEW-VIEW at most once (duplicated deliveries
   // under fault injection would otherwise reset in-flight slots).
   if (m.new_view <= last_new_view_processed_) return;
+  // The message is self-certifying: it must be SIGNED by the view's
+  // primary, but any peer may deliver it — the view-fetch path re-serves
+  // a retained NEW-VIEW from whichever replica holds it, which matters
+  // exactly when the primary that built it is unreachable.
   NodeId expected_primary = ctx_.cluster[m.new_view % ClusterSize()];
-  if (from != expected_primary) return;
+  if (m.sig.signer != expected_primary) return;
   if (!ctx_.env->keystore.Verify(
           m.sig,
           SignableDigest(m.new_view, 0, Sha256::Hash("new-view")))) {
@@ -492,6 +622,12 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
   in_view_change_ = false;
   ++view_change_count_;
   ctx_.env->metrics.Inc("pbft.view_installed");
+  // Retain the installed NEW-VIEW for view-wedged peers (see
+  // MaybeFetchView / the want_view fill path).
+  if (last_new_view_msg_ == nullptr ||
+      last_new_view_msg_->new_view < m.new_view) {
+    last_new_view_msg_ = std::make_shared<NewViewMsg>(m);
+  }
 
   // Open-slot accounting restarts in the new view (re-proposed slots are
   // re-opened below at the new primary).

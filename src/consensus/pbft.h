@@ -40,6 +40,8 @@ class PbftEngine : public InternalConsensus {
   void OnMessage(NodeId from, const MessageRef& msg) override;
   void OnTimer(uint64_t tag, uint64_t payload) override;
   void SuspectPrimary() override;
+  void OnHostCrash() override;
+  void OnHostRecover() override;
 
   bool IsPrimary() const override {
     return ctx_.cluster[view_ % ClusterSize()] == ctx_.self;
@@ -61,6 +63,16 @@ class PbftEngine : public InternalConsensus {
   /// equivocated (different digests to different replicas), which correct
   /// replicas must resolve via view change.
   void SetEquivocate(bool e) { equivocate_ = e; }
+
+  bool HasSlotState(uint64_t slot) const override {
+    return slots_.count(slot) > 0;
+  }
+  size_t retained_slots() const { return slots_.size(); }
+
+ protected:
+  void GarbageCollectBelow(uint64_t slot) override;
+  void AdvanceFrontierTo(uint64_t slot) override;
+  void ResumeAfterInstall() override;
 
  private:
   struct SlotState {
@@ -84,6 +96,11 @@ class PbftEngine : public InternalConsensus {
   /// Gap catch-up: the delivery frontier is stuck while later slots have
   /// committed; ask a peer to retransmit the decided slots.
   static constexpr uint64_t kTagGapFill = kEngineTimerBase + 3;
+  /// View synchronization: messages for a future view are buffering but
+  /// the NEW-VIEW that would install it never arrived (it was sent while
+  /// this replica was crashed or partitioned, and nothing retransmits
+  /// it). Ask a peer to re-serve the latest NEW-VIEW it processed.
+  static constexpr uint64_t kTagViewFetch = kEngineTimerBase + 4;
 
   void HandlePrePrepare(NodeId from, const PrePrepareMsg& m);
   void HandlePrepare(NodeId from, const PrepareMsg& m);
@@ -123,6 +140,11 @@ class PbftEngine : public InternalConsensus {
   uint64_t max_committed_ = 0;   // highest locally committed slot
   bool gap_timer_armed_ = false;
   int fill_rr_ = 0;              // round-robin peer cursor for fills
+  /// Consecutive gap-fill rounds without frontier progress. Fills that
+  /// target slots a peer already garbage-collected can never be served
+  /// per slot; after a few dry rounds the engine asks the host for full
+  /// state transfer instead of spinning forever.
+  int fill_stalls_ = 0;
   uint64_t view_change_count_ = 0;
   bool in_view_change_ = false;
   bool equivocate_ = false;
@@ -152,6 +174,14 @@ class PbftEngine : public InternalConsensus {
   // primary's first pre-prepares can arrive reordered); replayed after
   // the view installs.
   std::vector<std::pair<NodeId, MessageRef>> future_msgs_;
+  // Latest NEW-VIEW processed (or built, on the primary), retained so
+  // any peer can re-serve it to a view-wedged replica: the message is
+  // self-certifying (signed by its view's primary).
+  std::shared_ptr<const NewViewMsg> last_new_view_msg_;
+  bool view_fetch_armed_ = false;
+  int view_fetch_rr_ = 0;
+
+  void MaybeFetchView();
 };
 
 }  // namespace qanaat

@@ -1,5 +1,7 @@
 #include "firewall/executor_core.h"
 
+#include <algorithm>
+
 namespace qanaat {
 
 ExecutorCore::ExecutorCore(Env* env, const DataModel* model,
@@ -144,6 +146,16 @@ void ExecutorCore::DrainReady() {
       }
     }
   }
+  // Drop entries overtaken by what just executed (a state transfer can
+  // race a live commit of the same block): their sequence number can
+  // never match head+1 again, so they would sit in the queue forever.
+  waiting_.erase(
+      std::remove_if(waiting_.begin(), waiting_.end(),
+                     [this](const Pending& p) {
+                       ShardRef ref{p.alpha.collection, p.alpha.shard};
+                       return p.alpha.n <= ledger_.HeadOf(ref);
+                     }),
+      waiting_.end());
 }
 
 Status ExecutorCore::Submit(BlockPtr block, CommitCertificate cert,
@@ -154,6 +166,13 @@ Status ExecutorCore::Submit(BlockPtr block, CommitCertificate cert,
   if (alpha_here.n <= ledger_.HeadOf(ref)) {
     return Status::AlreadyExists("duplicate block " +
                                  std::to_string(alpha_here.n));
+  }
+  for (const Pending& w : waiting_) {
+    if (w.alpha.collection == alpha_here.collection &&
+        w.alpha.shard == alpha_here.shard && w.alpha.n == alpha_here.n) {
+      return Status::AlreadyExists("block already queued " +
+                                   std::to_string(alpha_here.n));
+    }
   }
   Pending p{std::move(block), std::move(cert), alpha_here, std::move(gamma),
             std::move(on_done)};

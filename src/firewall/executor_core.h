@@ -53,6 +53,12 @@ class ExecutorCore {
   const MvStore& StoreOf(const CollectionId& c) const;
   MvStore* MutableStoreOf(const CollectionId& c);
 
+  /// State-identity surface for the chaos auditor: the fingerprint of
+  /// this shard's store of collection `c` (0 when never written).
+  uint64_t StateFingerprintOf(const CollectionId& c) const {
+    return StoreOf(c).Fingerprint();
+  }
+
   EnterpriseId enterprise() const { return enterprise_; }
   ShardId shard() const { return shard_; }
   uint64_t executed_blocks() const { return executed_blocks_; }

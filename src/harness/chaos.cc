@@ -22,23 +22,23 @@ const char* ChaosStackName(ChaosStack s) {
 
 namespace {
 
-/// Every ledger of the deployment with the node that owns it.
-std::vector<std::pair<NodeId, const DagLedger*>> AllLedgers(
+/// Every executor core of the deployment with the node that owns it
+/// (core.ledger() is the chain surface, the core itself the store
+/// surface for state-identity checks).
+std::vector<std::pair<NodeId, const ExecutorCore*>> AllCores(
     QanaatSystem& sys) {
-  std::vector<std::pair<NodeId, const DagLedger*>> out;
+  std::vector<std::pair<NodeId, const ExecutorCore*>> out;
   for (int c = 0; c < sys.cluster_count(); ++c) {
     const ClusterConfig& cc = sys.directory().Cluster(c);
     for (size_t i = 0; i < cc.ordering.size(); ++i) {
       out.emplace_back(cc.ordering[i],
                        &sys.ordering_node(c, static_cast<int>(i))
-                            ->exec_core()
-                            .ledger());
+                            ->exec_core());
     }
     for (size_t i = 0; i < cc.execution.size(); ++i) {
       out.emplace_back(cc.execution[i],
                        &sys.execution_node(c, static_cast<int>(i))
-                            ->core()
-                            .ledger());
+                            ->core());
     }
   }
   return out;
@@ -62,7 +62,12 @@ Status SafetyAuditor::AuditLinkContainment(const Network& net) {
 
 Status SafetyAuditor::AuditQanaat(QanaatSystem& sys, bool full,
                                   const std::set<NodeId>* converged_except) {
-  auto ledgers = AllLedgers(sys);
+  auto cores = AllCores(sys);
+  std::vector<std::pair<NodeId, const DagLedger*>> ledgers;
+  ledgers.reserve(cores.size());
+  for (const auto& [node, core] : cores) {
+    ledgers.emplace_back(node, &core->ledger());
+  }
 
   // 1. Chain agreement: at every (collection shard, height) all replicas
   // — within a cluster and across clusters sharing the chain — hold the
@@ -113,20 +118,26 @@ Status SafetyAuditor::AuditQanaat(QanaatSystem& sys, bool full,
     QANAAT_RETURN_IF_ERROR(AuditLinkContainment(sys.net()));
   }
 
-  // 4. Convergence: every non-degraded executing replica of a chain ends
-  // with the same head (digest equality along the way is implied by 1).
+  // 4. Convergence: every executing replica of a chain not explicitly
+  // excluded — since the checkpoint/state-transfer subsystem, recovered
+  // replicas are NOT excluded — ends with the same head (digest equality
+  // along the way is implied by 1) AND an identical multi-versioned
+  // store for the chain's collection (state identity, not just prefix
+  // consistency: re-execution after state transfer must land on the
+  // exact same bytes).
   if (converged_except != nullptr) {
     // Expected maintainers of ShardRef{coll, s}: the executing replicas
     // (execution nodes when separated, ordering nodes otherwise) of
     // cluster (e, s) for every member enterprise e.
-    std::map<NodeId, const DagLedger*> by_node(ledgers.begin(),
-                                               ledgers.end());
+    std::map<NodeId, const ExecutorCore*> by_node(cores.begin(),
+                                                  cores.end());
     std::set<ShardRef> all_chains;
     for (const auto& [node, led] : ledgers) {
       for (const auto& [ref, chain] : led->chains()) all_chains.insert(ref);
     }
     for (const ShardRef& ref : all_chains) {
       size_t expect = 0;
+      uint64_t expect_state = 0;
       bool have_expect = false;
       NodeId expect_node = kInvalidNode;
       for (EnterpriseId e : ref.collection.members.Members()) {
@@ -136,9 +147,12 @@ Status SafetyAuditor::AuditQanaat(QanaatSystem& sys, bool full,
             cc.SeparatedExecution() ? cc.execution : cc.ordering;
         for (NodeId n : executing) {
           if (converged_except->count(n)) continue;
-          size_t len = by_node.at(n)->ChainOf(ref).size();
+          const ExecutorCore* core = by_node.at(n);
+          size_t len = core->ledger().ChainOf(ref).size();
+          uint64_t state = core->StateFingerprintOf(ref.collection);
           if (!have_expect) {
             expect = len;
+            expect_state = state;
             have_expect = true;
             expect_node = n;
           } else if (len != expect) {
@@ -146,6 +160,12 @@ Status SafetyAuditor::AuditQanaat(QanaatSystem& sys, bool full,
                 "post-heal divergence on " + ref.Label() + ": " +
                 NodeLabel(n) + " has " + std::to_string(len) + " blocks, " +
                 NodeLabel(expect_node) + " has " + std::to_string(expect));
+          } else if (state != expect_state) {
+            return Status::Internal(
+                "post-heal state divergence on " + ref.Label() + ": " +
+                NodeLabel(n) + " and " + NodeLabel(expect_node) +
+                " agree on " + std::to_string(len) +
+                " blocks but their stores differ");
           }
         }
       }
@@ -222,14 +242,15 @@ ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
   }
 
   // Fault groups: each cluster tolerates f chaos victims among its
-  // non-initial-primary ordering nodes. Primaries are exempt so the
-  // corpus stays livelock-free by construction (primary-failure handling
-  // has its own targeted tests).
+  // ordering nodes — initial primaries included. Primary crashes ride
+  // the random corpus since the checkpoint/state-transfer subsystem:
+  // view changes / ballot takeovers hand leadership over, and the
+  // recovered primary converges back via state transfer.
   std::vector<CrashGroup> groups;
   for (int c = 0; c < sys.cluster_count(); ++c) {
     const ClusterConfig& cc = sys.directory().Cluster(c);
     CrashGroup g;
-    g.crashable.assign(cc.ordering.begin() + 1, cc.ordering.end());
+    g.crashable.assign(cc.ordering.begin(), cc.ordering.end());
     g.max_faulty = sys.directory().params.f;
     groups.push_back(std::move(g));
   }
@@ -238,8 +259,6 @@ ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
 
   ChaosReport rep;
   rep.plan_summary = plan.Summary();
-  std::set<NodeId> degraded;
-  for (NodeId n : plan.DegradedNodes()) degraded.insert(n);
 
   FaultInjector injector(&sys.env(), &sys.net());
   injector.Install(std::move(plan));
@@ -261,11 +280,17 @@ ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
 
   sys.env().sim.Run(opts.run_until);
 
+  // Post-heal convergence covers EVERY live replica — crash victims that
+  // recovered, partition endpoints, all of them (the recovered-replica
+  // exclusion predates state transfer). Untargeted loss still only
+  // asserts prefix agreement: a message lost after the last checkpoint
+  // boundary leaves no signal to catch up from.
   bool converge = !injector.plan().HasUntargetedLoss();
+  static const std::set<NodeId> kNoExclusions;
   if (first.ok()) {
     ++rep.audits;
     first = SafetyAuditor::AuditQanaat(sys, /*full=*/true,
-                                       converge ? &degraded : nullptr);
+                                       converge ? &kNoExclusions : nullptr);
   }
   rep.convergence_checked = converge && first.ok();
   rep.safety = first;
@@ -305,24 +330,12 @@ ChaosReport RunFabricChaos(const ChaosOptions& opts) {
   }
   g.max_faulty = (sys.orderer_count() - 1) / 2;
 
-  // Fabric peers have no catch-up protocol, so untargeted loss would
-  // stall a peer forever on a missing block. Loss is therefore injected
-  // on client links only; dup/reorder stay network-wide (the peer's
-  // in-order admission absorbs them).
-  ChaosProfile profile = opts.profile;
-  double loss = profile.loss;
-  profile.loss = 0;
-  FaultPlan plan = MakeRandomPlan(opts.seed, {g}, opts.heal_at, profile);
-  if (loss > 0) {
-    Network::LinkFault f;
-    f.drop = loss;
-    SimTime from = opts.heal_at / 8;
-    SimTime to = opts.heal_at / 2;
-    for (FabricClient* c : clients) {
-      plan.LinkFaultWindow(from, to, c->id(), sys.leader_id(), f);
-    }
-    plan.Sort();
-  }
+  // Loss is injected network-wide, exactly like the Qanaat stacks: peers
+  // now have a block catch-up protocol (gap-triggered + periodic fetch
+  // from the ordering service), so a block lost on the wire no longer
+  // wedges a peer forever.
+  FaultPlan plan =
+      MakeRandomPlan(opts.seed, {g}, opts.heal_at, opts.profile);
 
   ChaosReport rep;
   rep.plan_summary = plan.Summary();

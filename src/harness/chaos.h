@@ -96,7 +96,10 @@ class SafetyAuditor {
   ///    message was delivered on is still allowed by the wiring);
   ///  * with `converged_except` non-null: every replica NOT in the set
   ///    ends with chains identical to its cluster peers' (same heads,
-  ///    same digests).
+  ///    same digests) AND an identical multi-versioned store per chain
+  ///    (state identity). Since the checkpoint/state-transfer subsystem
+  ///    the chaos corpus passes an EMPTY exclusion set: recovered
+  ///    replicas converge too, not just stay prefix-consistent.
   static Status AuditQanaat(QanaatSystem& sys, bool full,
                             const std::set<NodeId>* converged_except);
 

@@ -71,6 +71,17 @@ LoadPoint RunQanaatPoint(const QanaatRunConfig& cfg, double offered_tps) {
 
   if (cfg.drop_rate > 0) sys.net().SetDropRate(cfg.drop_rate);
 
+  if (cfg.recover_at > cfg.crash_at && cfg.crash_at > 0) {
+    for (int c = 0; c < sys.cluster_count(); ++c) {
+      const ClusterConfig& cc = sys.directory().Cluster(c);
+      Actor* victim = sys.ordering_node(
+          c, static_cast<int>(cc.ordering.size()) - 1);
+      sys.env().sim.ScheduleAt(cfg.crash_at, [victim]() { victim->Crash(); });
+      sys.env().sim.ScheduleAt(cfg.recover_at,
+                               [victim]() { victim->Recover(); });
+    }
+  }
+
   double per_client = offered_tps / cfg.client_machines;
   SimTime measure_from = cfg.warmup;
   SimTime measure_to = cfg.duration - cfg.warmup / 3;

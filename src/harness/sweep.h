@@ -39,6 +39,13 @@ struct QanaatRunConfig {
   /// Crash `count` non-primary ordering nodes (+1 exec node and +1 filter
   /// per cluster when the firewall is on) at t=0 — Table 3.
   int faulty_ordering_nodes = 0;
+  /// Crash-and-recover scenario (checkpoint/state-transfer overhead
+  /// bench): one non-primary ordering node per cluster crashes at
+  /// `crash_at` and recovers at `recover_at` (both 0 disables). Combined
+  /// with SystemParams::state_transfer / checkpoint_interval this
+  /// measures what certified checkpoints buy a recovering replica.
+  SimTime crash_at = 0;
+  SimTime recover_at = 0;
   /// Uniform message-loss probability on every link (§5 failure runs).
   double drop_rate = 0;
   /// Client retransmission period; 0 disables (enable under loss).

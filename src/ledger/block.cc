@@ -113,6 +113,11 @@ Sha256Digest ConsensusSignable(ViewNo view, uint64_t slot,
   return DeriveDigest(0x43534947u /* "CSIG" */, view, slot, value_digest);
 }
 
+Sha256Digest CheckpointSignable(uint64_t slot,
+                                const Sha256Digest& history_digest) {
+  return DeriveDigest(0x434b5054u /* "CKPT" */, slot, 0, history_digest);
+}
+
 Sha256Digest CommitCertificate::CoveredDigest() const {
   if (direct) return block_digest;
   return ConsensusSignable(view, slot,

@@ -99,6 +99,15 @@ Sha256Digest ValueDigestFor(uint8_t kind, const Sha256Digest& block_digest);
 Sha256Digest ConsensusSignable(ViewNo view, uint64_t slot,
                                const Sha256Digest& value_digest);
 
+/// What checkpoint votes sign: derived from (slot ‖ history digest),
+/// where the history digest chains the value digests of every delivered
+/// slot up to `slot`. Matching votes from a quorum make the checkpoint
+/// stable — the engine may then garbage-collect slot state at or below
+/// it, and a certificate of those votes proves the frontier to a
+/// recovering replica.
+Sha256Digest CheckpointSignable(uint64_t slot,
+                                const Sha256Digest& history_digest);
+
 /// Commit certificate: signatures from a quorum (local-majority) of a
 /// cluster's ordering nodes proving a block was ordered (paper §4.2).
 /// Appended to the ledger with the block so any later tampering with

@@ -48,6 +48,20 @@ OrderingNode::OrderingNode(Env* env, const Directory* dir,
   ctx.deliver = [this](uint64_t slot, const ConsensusValue& v) {
     OnDecide(slot, v);
   };
+  ctx.checkpoint_interval = static_cast<size_t>(
+      dir_->params.checkpoint_interval < 0
+          ? 0
+          : dir_->params.checkpoint_interval);
+  if (dir_->params.state_transfer) {
+    ctx.request_state_transfer = [this](const CheckpointCertificate&) {
+      // The peer's StateReply carries its own certificate; all the host
+      // needs to know is that per-slot catch-up cannot work.
+      ScheduleStateSync(dir_->params.consensus_timeout_us / 4);
+    };
+  }
+  ctx.on_view_change = [this](ViewNo, NodeId new_primary) {
+    if (new_primary == id()) ReplayExecPushes();
+  };
   if (cfg_.failure_model == FailureModel::kByzantine) {
     engine_ = std::make_unique<PbftEngine>(
         std::move(ctx), dir_->params.f, dir_->params.consensus_timeout_us);
@@ -76,6 +90,30 @@ void OrderingNode::OnCrash() {
   // flags must not outlive the timers (which the crash epoch discards).
   batcher_.Reset();
   progress_checks_.clear();
+  pending_exec_push_.clear();
+  state_sync_pending_ = false;  // its timer died with the old epoch
+  exec_wedge_armed_ = false;
+  exec_wedged_ = false;
+  engine_->OnHostCrash();
+}
+
+void OrderingNode::MaybeWatchExecWedge() {
+  if (!dir_->params.state_transfer || exec_wedge_armed_) return;
+  if (exec_.pending_blocks() == 0) return;
+  exec_wedge_armed_ = true;
+  exec_ledger_at_arm_ = exec_.ledger().size();
+  StartTimer(dir_->params.cross_timeout_us, kTagExecWedge, 0);
+}
+
+void OrderingNode::OnRecover() {
+  engine_->OnHostRecover();
+  MaybeWatchExecWedge();
+  // A restarted replica missed every commit of its downtime — including
+  // cross-cluster commits nothing will ever retransmit (completed
+  // instances stop re-driving). Proactively fetch the gap from a peer;
+  // the tail still catches up through the normal fill protocols.
+  if (!dir_->params.state_transfer) return;
+  ScheduleStateSync(dir_->params.consensus_timeout_us / 2);
 }
 
 // --------------------------------------------------------------- intake
@@ -123,9 +161,17 @@ void OrderingNode::OnMessage(NodeId from, const MessageRef& msg) {
       break;
     case MsgType::kPaxosPrepare:
     case MsgType::kFillRequest:
+    case MsgType::kCheckpoint:
       engine_->OnMessage(from, msg);
       break;
+    case MsgType::kStateRequest:
+      HandleStateRequest(from, *msg->As<StateRequestMsg>());
+      break;
+    case MsgType::kStateReply:
+      HandleStateReply(from, *msg->As<StateReplyMsg>());
+      break;
     case MsgType::kXPrepare:
+      ObserveProposedBlock(msg->As<XPrepareMsg>()->block);
       HandleXPrepare(from, *msg->As<XPrepareMsg>());
       break;
     case MsgType::kXPrepared:
@@ -136,6 +182,7 @@ void OrderingNode::OnMessage(NodeId from, const MessageRef& msg) {
       HandleXCommit(from, *msg->As<XCommitMsg>());
       break;
     case MsgType::kFPropose:
+      ObserveProposedBlock(msg->As<FProposeMsg>()->block);
       HandleFPropose(from, *msg->As<FProposeMsg>());
       break;
     case MsgType::kFAccept:
@@ -181,6 +228,49 @@ void OrderingNode::OnTimer(uint64_t tag, uint64_t payload) {
   }
   if (tag == kTagRetry) {
     RunRetry(payload);
+    return;
+  }
+  if (tag == kTagStateSync) {
+    state_sync_pending_ = false;
+    SendStateRequest();
+    return;
+  }
+  if (tag == kTagExecPush) {
+    auto it = pending_exec_push_.find(payload);
+    if (it == pending_exec_push_.end()) return;
+    if (reply_cache_.count(it->second.msg->cert.block_digest)) {
+      // A reply certificate came back down the firewall: the execution
+      // nodes saw the block, nothing to do.
+      pending_exec_push_.erase(it);
+      return;
+    }
+    env()->metrics.Inc("order.exec_push_backup");
+    if (cfg_.HasFirewall()) {
+      Multicast(cfg_.filter_rows.front(), it->second.msg);
+    } else {
+      Multicast(cfg_.execution, it->second.msg);
+    }
+    if (++it->second.tries >= 3) {
+      pending_exec_push_.erase(it);
+    } else {
+      StartTimer(dir_->params.cross_timeout_us, kTagExecPush, payload);
+    }
+    return;
+  }
+  if (tag == kTagExecWedge) {
+    exec_wedge_armed_ = false;
+    if (exec_.pending_blocks() == 0) {
+      exec_wedged_ = false;
+      return;
+    }
+    if (exec_.ledger().size() == exec_ledger_at_arm_) {
+      exec_wedged_ = true;
+      env()->metrics.Inc("order.exec_wedge_detected");
+      ScheduleStateSync(0);
+    } else {
+      exec_wedged_ = false;  // progressing again
+    }
+    MaybeWatchExecWedge();
     return;
   }
   if (tag == kTagProgress) {
@@ -286,6 +376,14 @@ void OrderingNode::HandleRequest(NodeId /*from*/, const RequestMsg& m) {
     env()->metrics.Inc("order.duplicate_request");
     return;
   }
+  if (IntakeGated()) {
+    // A catching-up primary must not admit fresh batches: its permanent
+    // at-most-once record is still incomplete, so a retransmission of a
+    // transaction whose commit it has not yet learned would be ordered a
+    // second time. The client retransmits once the gate clears.
+    env()->metrics.Inc("order.intake_gated");
+    return;
+  }
   // Write rule (§3.2): the transaction must target a collection its
   // initiating enterprise is involved in.
   Status ok = model_->ValidateWrite(tx.collection, cfg_.enterprise);
@@ -304,17 +402,34 @@ void OrderingNode::HandleRequest(NodeId /*from*/, const RequestMsg& m) {
 }
 
 void OrderingNode::ObserveProposedValue(const ConsensusValue& v) {
-  if (v.block == nullptr) return;
   if (v.kind != ConsensusValue::Kind::kBlock &&
       v.kind != ConsensusValue::Kind::kXOrder) {
     return;
   }
-  for (const Transaction& tx : v.block->txs) {
+  ObserveProposedBlock(v.block);
+}
+
+void OrderingNode::ObserveProposedBlock(const BlockPtr& block) {
+  if (block == nullptr) return;
+  for (const Transaction& tx : block->txs) {
     observed_requests_[{tx.client, tx.client_ts}] = now();
   }
   // Backups never take the intake path, so the observation map must be
   // purged here too or it grows for the whole run on (n-1)/n nodes.
   MaybePurgeDedup();
+}
+
+bool OrderingNode::IntakeGated() const {
+  // Deferred blocks gate intake from the FIRST deferral, not only once
+  // the wedge watchdog confirms one: the gap between "a commit we have
+  // not applied exists" and "the watchdog noticed" is exactly where a
+  // catching-up leader re-orders a retransmission into a duplicate
+  // block (the chaos corpus reproduces this deterministically). The
+  // cost on a healthy primary is negligible — transient γ-deferrals
+  // rarely coincide with intake, and gated clients simply retransmit.
+  return dir_->params.state_transfer &&
+         (state_sync_pending_ || exec_wedged_ ||
+          exec_.pending_blocks() > 0);
 }
 
 SimTime OrderingNode::DedupWindowUs() const {
@@ -513,22 +628,27 @@ void OrderingNode::CommitBlock(const BlockPtr& block, CommitCertificate cert,
 
   if (cfg_.SeparatedExecution()) {
     // Byzantine with separation: the primary pushes the request + commit
-    // certificate through the privacy firewall (§4.2). Backups stay
-    // silent unless queried (retransmission handled by client timeout).
+    // certificate through the privacy firewall (§4.2). Backups keep the
+    // recent pushes instead of discarding them — if the primary crashed
+    // between committing and forwarding, the next primary replays the
+    // tail on its view change (execution-side dedup absorbs duplicates).
+    auto eo = std::make_shared<ExecOrderMsg>();
+    eo->block = block;
+    eo->cert = std::move(cert);
+    eo->alpha_here = alpha;
+    eo->gamma_here = std::move(gamma);
+    eo->wire_bytes = 128 + block->WireSize() + eo->cert.WireSize();
+    eo->sig_verify_ops = static_cast<uint16_t>(eo->cert.sigs.size());
     if (engine_->IsPrimary()) {
-      auto eo = std::make_shared<ExecOrderMsg>();
-      eo->block = block;
-      eo->cert = std::move(cert);
-      eo->alpha_here = alpha;
-      eo->gamma_here = std::move(gamma);
-      eo->wire_bytes = 128 + block->WireSize() + eo->cert.WireSize();
-      eo->sig_verify_ops =
-          static_cast<uint16_t>(eo->cert.sigs.size());
       if (cfg_.HasFirewall()) {
         Multicast(cfg_.filter_rows.front(), eo);
       } else {
         Multicast(cfg_.execution, eo);
       }
+    } else {
+      uint64_t token = next_exec_push_++;
+      pending_exec_push_[token] = PendingExecPush{std::move(eo), 0};
+      StartTimer(dir_->params.cross_timeout_us, kTagExecPush, token);
     }
     return;
   }
@@ -546,6 +666,7 @@ void OrderingNode::CommitBlock(const BlockPtr& block, CommitCertificate cert,
   if (!st2.ok() && st2.code() != StatusCode::kAlreadyExists) {
     env()->metrics.Inc("order.commit_submit_error");
   }
+  MaybeWatchExecWedge();
 }
 
 void OrderingNode::OnExecutedReply(const ExecutorCore::ExecResult& res,
@@ -809,6 +930,180 @@ void OrderingNode::HandleQuery(NodeId from, const QueryMsg& m) {
   // the primary (a local-majority of queries triggers a view change,
   // §4.3.4).
   env()->metrics.Inc("cross.query_pending");
+}
+
+// ------------------------------------- checkpointed state transfer
+
+void OrderingNode::ScheduleStateSync(SimTime delay) {
+  if (!dir_->params.state_transfer || state_sync_pending_) return;
+  state_sync_pending_ = true;
+  StartTimer(delay, kTagStateSync, 0);
+}
+
+void OrderingNode::SendStateRequest() {
+  size_t n = cfg_.ordering.size();
+  if (n <= 1) return;
+  NodeId peer = id();
+  for (size_t i = 0; i < n && peer == id(); ++i) {
+    peer = cfg_.ordering[(static_cast<size_t>(index_) + 1 +
+                          static_cast<size_t>(state_sync_rr_++)) % n];
+  }
+  if (peer == id()) return;
+  auto req = std::make_shared<StateRequestMsg>();
+  for (const auto& [ref, chain] : exec_.ledger().chains()) {
+    req->heads.push_back(StateRequestMsg::ChainHead{
+        ref.collection, ref.shard, exec_.ledger().HeadOf(ref)});
+  }
+  req->frontier = engine_->LastDelivered();
+  req->wire_bytes =
+      48 + static_cast<uint32_t>(req->heads.size()) * 16;
+  env()->metrics.Inc("order.state_requested");
+  Send(peer, req);
+}
+
+void OrderingNode::HandleStateRequest(NodeId from, const StateRequestMsg& m) {
+  if (!dir_->params.state_transfer) return;
+  std::map<ShardRef, SeqNo> req_heads;
+  for (const auto& h : m.heads) {
+    req_heads[ShardRef{h.collection, h.shard}] = h.head;
+  }
+  // Chunked like the other catch-up protocols (fills: 16 slots, Fabric
+  // fetch: 8 blocks): at most kMaxEntries entries per reply, filled
+  // round-robin ACROSS chains — oldest missing entry of each chain
+  // first — so a long chain cannot starve the chain its γ dependencies
+  // point at. The requester re-requests with updated heads until a
+  // round installs nothing new.
+  constexpr size_t kMaxEntries = 256;
+  auto rep = std::make_shared<StateReplyMsg>();
+  rep->ckpt = engine_->stable_checkpoint();
+  const DagLedger& led = exec_.ledger();
+  uint64_t bytes = 64 + rep->ckpt.WireSize();
+  size_t verify_ops = rep->ckpt.sigs.size();
+  // Per-chain cursors into the missing suffix (chain[i] holds the entry
+  // committed at sequence number i + 1, so the requester's gap starts
+  // at index `head`).
+  std::vector<std::pair<const std::vector<size_t>*, size_t>> cursors;
+  for (const auto& [ref, chain] : led.chains()) {
+    auto it = req_heads.find(ref);
+    SeqNo have = it == req_heads.end() ? 0 : it->second;
+    if (have < chain.size()) cursors.emplace_back(&chain, have);
+  }
+  bool any = true;
+  while (any && rep->entries.size() < kMaxEntries) {
+    any = false;
+    for (auto& [chain, i] : cursors) {
+      if (i >= chain->size() || rep->entries.size() >= kMaxEntries) {
+        continue;
+      }
+      const DagLedger::Entry& e = led.entry((*chain)[i++]);
+      rep->entries.push_back(
+          StateReplyMsg::Entry{e.block, e.cert, e.alpha, e.gamma});
+      bytes += 64 + e.block->WireSize() + e.cert.WireSize();
+      verify_ops += e.cert.sigs.size();
+      any = true;
+    }
+  }
+  if (rep->entries.empty() && rep->ckpt.slot <= m.frontier) return;
+  rep->wire_bytes = static_cast<uint32_t>(
+      std::min<uint64_t>(bytes, UINT32_MAX));
+  rep->sig_verify_ops =
+      static_cast<uint16_t>(std::min<size_t>(verify_ops, 65535));
+  env()->metrics.Inc("order.state_served");
+  env()->metrics.Inc("order.state_blocks_served", rep->entries.size());
+  Send(from, rep);
+}
+
+bool OrderingNode::VerifyTransferredEntry(
+    const StateReplyMsg::Entry& e) const {
+  if (e.block == nullptr) return false;
+  // Tamper evidence from canonical bytes, bypassing every memoized
+  // digest: Merkle root over the transferred transactions, then the
+  // block digest the certificate must cover.
+  Sha256Digest root = e.block->RecomputeTxRoot();
+  if (!(root == e.block->tx_root)) return false;
+  if (!(e.cert.block_digest == e.block->RecomputeDigest(root))) {
+    return false;
+  }
+  // Quorum of valid signatures from ordering nodes of the collection's
+  // member clusters — the only parties that legitimately certify blocks
+  // of this chain (keeps Byzantine execution nodes out of the signer
+  // set).
+  std::vector<NodeId> allowed;
+  for (EnterpriseId ent : e.alpha.collection.members.Members()) {
+    for (ShardId s = 0;
+         s < static_cast<ShardId>(dir_->params.shards_per_enterprise);
+         ++s) {
+      const auto& ord = dir_->Cluster(dir_->ClusterIdOf(ent, s)).ordering;
+      allowed.insert(allowed.end(), ord.begin(), ord.end());
+    }
+  }
+  return e.cert.ValidFrom(env()->keystore, dir_->params.CertQuorum(),
+                          allowed);
+}
+
+bool OrderingNode::InstallTransferredBlock(const StateReplyMsg::Entry& e) {
+  for (const Transaction& tx : e.block->txs) {
+    committed_requests_.insert({tx.client, tx.client_ts});
+  }
+  auto& st = state_[e.alpha.collection];
+  st = std::max(st, e.alpha.n);
+  // Re-execution rebuilds the multi-versioned store deterministically;
+  // Submit defers entries whose chain predecessor or γ dependencies have
+  // not landed yet (transfers interleave chains arbitrarily) and dedups
+  // entries already queued by an earlier chunk.
+  Status s = exec_.Submit(
+      e.block, e.cert, e.alpha, e.gamma,
+      [this](const ExecutorCore::ExecResult& res) {
+        ChargeCpu(res.cpu_cost);
+      });
+  MaybeWatchExecWedge();
+  if (s.code() == StatusCode::kAlreadyExists) return false;
+  if (!s.ok()) {
+    env()->metrics.Inc("order.state_install_error");
+    return false;
+  }
+  committed_blocks_++;
+  committed_txs_ += e.block->tx_count();
+  env()->metrics.Inc("order.state_block_installed");
+  return true;
+}
+
+void OrderingNode::HandleStateReply(NodeId /*from*/, const StateReplyMsg& m) {
+  if (!dir_->params.state_transfer) return;
+  size_t installed = 0;
+  for (const auto& e : m.entries) {
+    ShardRef ref{e.alpha.collection, e.alpha.shard};
+    if (e.alpha.n <= exec_.ledger().HeadOf(ref)) continue;  // have it
+    if (!VerifyTransferredEntry(e)) {
+      env()->metrics.Inc("order.bad_state_block");
+      continue;
+    }
+    if (InstallTransferredBlock(e)) ++installed;
+  }
+  if (m.ckpt.slot > engine_->LastDelivered()) {
+    if (!engine_->InstallCheckpoint(m.ckpt)) {
+      env()->metrics.Inc("order.bad_state_ckpt");
+    }
+  }
+  if (installed > 0) {
+    // Another round in case the serving peer itself was behind; it
+    // no-ops (and goes unanswered) once everyone agrees.
+    ScheduleStateSync(dir_->params.consensus_timeout_us);
+  }
+}
+
+void OrderingNode::ReplayExecPushes() {
+  if (!cfg_.SeparatedExecution() || pending_exec_push_.empty()) return;
+  env()->metrics.Inc("order.exec_push_replayed", pending_exec_push_.size());
+  for (const auto& [token, p] : pending_exec_push_) {
+    if (reply_cache_.count(p.msg->cert.block_digest)) continue;
+    if (cfg_.HasFirewall()) {
+      Multicast(cfg_.filter_rows.front(), p.msg);
+    } else {
+      Multicast(cfg_.execution, p.msg);
+    }
+  }
+  pending_exec_push_.clear();
 }
 
 }  // namespace qanaat

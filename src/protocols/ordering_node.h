@@ -1,6 +1,7 @@
 #ifndef QANAAT_PROTOCOLS_ORDERING_NODE_H_
 #define QANAAT_PROTOCOLS_ORDERING_NODE_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -39,6 +40,7 @@ class OrderingNode : public Actor {
   void OnMessage(NodeId from, const MessageRef& msg) override;
   void OnTimer(uint64_t tag, uint64_t payload) override;
   void OnCrash() override;
+  void OnRecover() override;
 
   const ClusterConfig& cluster() const { return cfg_; }
   InternalConsensus* engine() { return engine_.get(); }
@@ -118,6 +120,9 @@ class OrderingNode : public Actor {
   static constexpr uint64_t kTagCross = 2;
   static constexpr uint64_t kTagRetry = 3;
   static constexpr uint64_t kTagProgress = 4;
+  static constexpr uint64_t kTagStateSync = 5;
+  static constexpr uint64_t kTagExecWedge = 6;
+  static constexpr uint64_t kTagExecPush = 7;
 
   // ---- request intake / batching
   void HandleRequest(NodeId from, const RequestMsg& m);
@@ -126,6 +131,17 @@ class OrderingNode : public Actor {
   /// retransmission racing a view change cannot get the same transaction
   /// batched into a second block by the new primary.
   void ObserveProposedValue(const ConsensusValue& v);
+  /// Same for a block observed in a cross-cluster proposal (FPropose /
+  /// XPrepare): those never pass through internal consensus at every
+  /// node, so without this a retransmission during an in-flight cross
+  /// instance could be batched into a second block.
+  void ObserveProposedBlock(const BlockPtr& block);
+  /// A primary may admit fresh intake only from a caught-up state: while
+  /// a state sync is pending or committed blocks sit deferred, this
+  /// node's permanent at-most-once record (committed_requests_) is
+  /// incomplete, and admitting a retransmission whose commit we have not
+  /// learned yet re-orders it into a duplicate block.
+  bool IntakeGated() const;
   /// Arms a progress watchdog for a request relayed to the primary: if no
   /// proposal containing it is observed in time, suspect the primary —
   /// otherwise a primary that crashed with nothing in flight is never
@@ -214,6 +230,41 @@ class OrderingNode : public Actor {
   void HandleQuery(NodeId from, const QueryMsg& m);
   /// Records a certified cross-instance outcome for query answering.
   void RecordOutcome(XState& xs, const CommitCertificate& cert, bool abort);
+
+  // ---- checkpointed state transfer (recovery path)
+  /// Arms the one-shot state-sync timer (deduped while pending): the
+  /// entry point for the recovery hook and the engine's transfer
+  /// requests.
+  void ScheduleStateSync(SimTime delay);
+  /// Sends a StateRequest (chain heads + consensus frontier) to the next
+  /// peer in round-robin order — any replica can serve, primary or not.
+  void SendStateRequest();
+  void HandleStateRequest(NodeId from, const StateRequestMsg& m);
+  void HandleStateReply(NodeId from, const StateReplyMsg& m);
+  /// Verifies one transferred ledger entry: recomputed Merkle root and
+  /// block digest must match the commit certificate, and the certificate
+  /// must carry a quorum of valid signatures from ordering nodes of the
+  /// collection's member clusters.
+  bool VerifyTransferredEntry(const StateReplyMsg::Entry& e) const;
+  /// Installs a verified entry: dedup bookkeeping, γ-capture state, and
+  /// in-order execution (which rebuilds the MvStore deterministically).
+  /// Returns false when the entry was already queued or applied (a
+  /// repeated chunk must not inflate counters or re-trigger sync
+  /// rounds).
+  bool InstallTransferredBlock(const StateReplyMsg::Entry& e);
+  /// Re-pushes recently committed blocks through the firewall when this
+  /// node becomes primary: the previous primary may have crashed between
+  /// committing and forwarding, and execution nodes cannot fill the gap
+  /// themselves (the wiring only lets them talk to the top filter row).
+  void ReplayExecPushes();
+  /// Arms the executor-wedge watchdog while committed blocks sit
+  /// deferred: a block whose chain predecessor was lost for good (e.g. a
+  /// cross-cluster commit this node missed while crashed or partitioned
+  /// — completed instances are never retransmitted) wedges the ledger at
+  /// a point the consensus engine cannot see. If a full cross-timeout
+  /// passes with deferred blocks and zero ledger growth, state transfer
+  /// fetches the missing predecessors from a peer.
+  void MaybeWatchExecWedge();
 
   /// Cost model hook: client requests are MAC-authenticated on crash
   /// clusters and signature-verified on Byzantine ones; the privacy
@@ -327,6 +378,32 @@ class OrderingNode : public Actor {
       active_cross_;
   std::map<uint64_t, std::pair<BlockPtr, int>> retry_blocks_;
   uint64_t next_retry_ = 0;
+
+  // State-sync bookkeeping: one pending request at a time, peers picked
+  // round-robin so non-primary replicas serve just as often.
+  bool state_sync_pending_ = false;
+  int state_sync_rr_ = 0;
+  // Executor-wedge watchdog state (see MaybeWatchExecWedge).
+  bool exec_wedge_armed_ = false;
+  size_t exec_ledger_at_arm_ = 0;
+  /// A wedge was DETECTED (deferred blocks + no ledger growth for a full
+  /// cross-timeout) and has not drained yet. Distinct from a transient
+  /// deferral, which is normal cross-shard machinery and must not gate
+  /// intake.
+  bool exec_wedged_ = false;
+  // Committed-but-possibly-unforwarded ExecOrder messages (separated
+  // execution only). Backups keep each one under an evidence watchdog:
+  // if no reply certificate for the block comes back down the firewall
+  // within a cross-timeout, the primary's push is presumed lost (it may
+  // have been crashed at commit time — cross-cluster commits need no
+  // live primary) and the backup pushes itself. A view change replays
+  // everything immediately. Execution-side dedup absorbs duplicates.
+  struct PendingExecPush {
+    std::shared_ptr<ExecOrderMsg> msg;
+    int tries = 0;
+  };
+  std::map<uint64_t, PendingExecPush> pending_exec_push_;
+  uint64_t next_exec_push_ = 0;
 
   uint64_t committed_blocks_ = 0;
   uint64_t committed_txs_ = 0;

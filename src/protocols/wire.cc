@@ -71,6 +71,15 @@ bool EncodeMessage(const Message& m, Encoder* enc) {
     case MsgType::kFillReply:
       ok = EncodeBody<FillReplyMsg>(m, &body);
       break;
+    case MsgType::kCheckpoint:
+      ok = EncodeBody<CheckpointMsg>(m, &body);
+      break;
+    case MsgType::kStateRequest:
+      ok = EncodeBody<StateRequestMsg>(m, &body);
+      break;
+    case MsgType::kStateReply:
+      ok = EncodeBody<StateReplyMsg>(m, &body);
+      break;
     case MsgType::kXPrepare:
       ok = EncodeBody<XPrepareMsg>(m, &body);
       break;
@@ -174,6 +183,15 @@ MessageRef DecodeMessage(Decoder* dec) {
       break;
     case MsgType::kFillReply:
       out = DecodeBody<FillReplyMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kCheckpoint:
+      out = DecodeBody<CheckpointMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kStateRequest:
+      out = DecodeBody<StateRequestMsg>(dec, wire_bytes, sig_ops);
+      break;
+    case MsgType::kStateReply:
+      out = DecodeBody<StateReplyMsg>(dec, wire_bytes, sig_ops);
       break;
     case MsgType::kXPrepare:
       out = DecodeBody<XPrepareMsg>(dec, wire_bytes, sig_ops);

@@ -20,6 +20,8 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kPaxosPromise: return "PAXOS_PROMISE";
     case MsgType::kFillRequest: return "FILL_REQUEST";
     case MsgType::kFillReply: return "FILL_REPLY";
+    case MsgType::kStateRequest: return "STATE_REQUEST";
+    case MsgType::kStateReply: return "STATE_REPLY";
     case MsgType::kXPrepare: return "X_PREPARE";
     case MsgType::kXPrepared: return "X_PREPARED";
     case MsgType::kXCommit: return "X_COMMIT";
@@ -38,6 +40,7 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kValidateDone: return "VALIDATE_DONE";
     case MsgType::kRaftAppend: return "RAFT_APPEND";
     case MsgType::kRaftAppendResp: return "RAFT_APPEND_RESP";
+    case MsgType::kBlockFetchReq: return "BLOCK_FETCH_REQ";
   }
   return "UNKNOWN";
 }

@@ -31,6 +31,10 @@ enum class MsgType : uint8_t {
   kPaxosPromise,   // phase-1b: promise + accepted history
   kFillRequest,    // gap catch-up: ask a peer for decided slots
   kFillReply,      // gap catch-up: decided value + commit proof
+  // Checkpointing + state transfer (host level; kCheckpoint above is the
+  // engine-level vote)
+  kStateRequest,   // recovering replica: chain heads + consensus frontier
+  kStateReply,     // checkpoint certificate + missing ledger blocks
   // Cross-cluster coordinator-based (paper Fig 5)
   kXPrepare,
   kXPrepared,
@@ -54,6 +58,7 @@ enum class MsgType : uint8_t {
   kValidateDone,
   kRaftAppend,
   kRaftAppendResp,
+  kBlockFetchReq,  // peer block catch-up: resend ordered blocks >= from
 };
 
 const char* MsgTypeName(MsgType t);

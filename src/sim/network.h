@@ -219,6 +219,7 @@ class Actor {
   void Recover() {
     crashed_ = false;
     busy_until_ = 0;  // the restarted process starts with an idle CPU
+    OnRecover();
   }
 
   /// Mark this node Byzantine for fault-injection runs; protocol
@@ -235,6 +236,10 @@ class Actor {
   /// the ledger, the store — survives, matching a process restart over
   /// persistent storage.
   virtual void OnCrash() {}
+  /// Recovery hook, called when the node restarts: the place to kick off
+  /// catch-up work (e.g. ledger state transfer) — a recovered process
+  /// has no timers left from its previous life, so nothing else would.
+  virtual void OnRecover() {}
 
   /// Handler, runs after CPU processing completes.
   virtual void OnMessage(NodeId from, const MessageRef& msg) = 0;

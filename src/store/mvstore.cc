@@ -108,6 +108,24 @@ void MvStore::TrimBelow(SeqNo floor) {
   }
 }
 
+uint64_t MvStore::Fingerprint() const {
+  // Commutative accumulation (sum of mixed per-key words): key order in
+  // the open-addressed index depends on insertion history, which differs
+  // between a replica that executed live and one rebuilt by state
+  // transfer, and must not affect the result.
+  uint64_t acc = 0;
+  for (const auto& bucket : index_) {
+    if (bucket.second == kNoChain) continue;
+    const auto& chain = chains_[bucket.second];
+    if (chain.empty()) continue;
+    uint64_t w = Mix64(bucket.first + 0x9e3779b97f4a7c15ULL);
+    w ^= Mix64(chain.back().version + 0x51ed270b9f652295ULL);
+    w ^= Mix64(static_cast<uint64_t>(chain.back().value));
+    acc += Mix64(w);
+  }
+  return acc;
+}
+
 Status WriteBatch::ApplyTo(MvStore* store, SeqNo version) const {
   for (const auto& [k, v] : writes_) {
     QANAAT_RETURN_IF_ERROR(store->Put(k, v, version));

@@ -52,6 +52,13 @@ class MvStore {
   /// one per key (checkpoint garbage collection).
   void TrimBelow(SeqNo floor);
 
+  /// Order-independent fingerprint over every key's latest (version,
+  /// value): the state-identity surface the chaos auditor compares
+  /// across replicas of a chain. Two stores built by executing the same
+  /// blocks in the same per-chain order always fingerprint equal,
+  /// regardless of key insertion order.
+  uint64_t Fingerprint() const;
+
  private:
   struct VersionedValue {
     SeqNo version;

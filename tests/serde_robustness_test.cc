@@ -251,12 +251,17 @@ std::vector<MessageRef> SampleMessages() {
     a.value = ConsensusValue::ForBlock(blk);
     a.digest = a.value.Digest();
     m->accepted.push_back(a);
+    m->stable.slot = 8;
+    m->stable.digest = Sha256::Hash("hist");
+    m->stable.sigs.push_back(
+        ks.Sign(1, CheckpointSignable(8, m->stable.digest)));
     out.push_back(m);
   }
   {
     auto m = std::make_shared<FillRequestMsg>();
     m->from_slot = 3;
     m->to_slot = 11;
+    m->want_view = 2;
     out.push_back(m);
   }
   {
@@ -266,6 +271,40 @@ std::vector<MessageRef> SampleMessages() {
     m->value = ConsensusValue::ForBlock(blk);
     m->commit_proof.push_back(ks.Sign(0, Sha256::Hash("c")));
     m->commit_proof.push_back(ks.Sign(1, Sha256::Hash("c")));
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<CheckpointMsg>();
+    m->slot = 16;
+    m->digest = Sha256::Hash("hist16");
+    m->sig = ks.Sign(2, CheckpointSignable(16, m->digest));
+    m->cert.slot = 8;
+    m->cert.digest = Sha256::Hash("hist8");
+    m->cert.sigs.push_back(ks.Sign(0, CheckpointSignable(8, m->cert.digest)));
+    m->cert.sigs.push_back(ks.Sign(1, CheckpointSignable(8, m->cert.digest)));
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<StateRequestMsg>();
+    m->heads.push_back(
+        StateRequestMsg::ChainHead{CollectionId{EnterpriseSet{0, 1}}, 1, 7});
+    m->heads.push_back(
+        StateRequestMsg::ChainHead{CollectionId{EnterpriseSet{0}}, 0, 3});
+    m->frontier = 12;
+    out.push_back(m);
+  }
+  {
+    auto m = std::make_shared<StateReplyMsg>();
+    m->ckpt.slot = 8;
+    m->ckpt.digest = Sha256::Hash("hist8");
+    m->ckpt.sigs.push_back(
+        ks.Sign(0, CheckpointSignable(8, m->ckpt.digest)));
+    StateReplyMsg::Entry e;
+    e.block = blk;
+    e.cert = SampleCert(d);
+    e.alpha = {CollectionId{EnterpriseSet{0, 1}}, 1, 7};
+    e.gamma.push_back({CollectionId{EnterpriseSet{0, 1, 2}}, 4});
+    m->entries.push_back(e);
     out.push_back(m);
   }
   {
