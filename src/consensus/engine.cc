@@ -22,6 +22,18 @@ namespace {
 constexpr uint64_t kHistorySalt = 0x48495354u;  // "HIST"
 }  // namespace
 
+const Sha256Digest& InternalConsensus::CkptSignableFor(
+    uint64_t slot, const Sha256Digest& digest) {
+  if (!ckpt_signable_valid_ || ckpt_signable_slot_ != slot ||
+      !(ckpt_signable_for_ == digest)) {
+    ckpt_signable_ = CheckpointSignable(slot, digest);
+    ckpt_signable_slot_ = slot;
+    ckpt_signable_for_ = digest;
+    ckpt_signable_valid_ = true;
+  }
+  return ckpt_signable_;
+}
+
 void InternalConsensus::NoteDelivered(uint64_t slot,
                                       const Sha256Digest& value_digest) {
   ckpt_history_ = DeriveDigest(kHistorySalt, slot, value_digest.Prefix64(),
@@ -34,7 +46,7 @@ void InternalConsensus::NoteDelivered(uint64_t slot,
   m->slot = slot;
   m->digest = ckpt_history_;
   m->sig = ctx_.env->keystore.Sign(ctx_.self,
-                                   CheckpointSignable(slot, ckpt_history_));
+                                   CkptSignableFor(slot, ckpt_history_));
   m->wire_bytes = 72;
   m->sig_verify_ops = CheapCheckpointAuth() ? 0 : 1;
   ctx_.broadcast(m);
@@ -60,7 +72,7 @@ void InternalConsensus::HandleCheckpoint(NodeId from, const CheckpointMsg& m) {
   }
   if (m.sig.signer != from ||
       !ctx_.env->keystore.Verify(m.sig,
-                                 CheckpointSignable(m.slot, m.digest))) {
+                                 CkptSignableFor(m.slot, m.digest))) {
     ctx_.env->metrics.Inc("ckpt.bad_vote");
     return;
   }

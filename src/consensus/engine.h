@@ -24,6 +24,10 @@ class VoteSet {
  public:
   /// Inserts or overwrites `node`'s vote.
   void Put(NodeId node, const Signature& sig) {
+    // One up-front reservation covers any realistic cluster: the grow-
+    // from-empty doubling showed up as ~200k vector reallocations per
+    // fig7-style run (two vote sets per slot per replica).
+    if (votes_.capacity() == 0) votes_.reserve(8);
     auto it = std::lower_bound(
         votes_.begin(), votes_.end(), node,
         [](const std::pair<NodeId, Signature>& v, NodeId n) {
@@ -46,6 +50,95 @@ class VoteSet {
 
  private:
   std::vector<std::pair<NodeId, Signature>> votes_;
+};
+
+/// Sorted small-vector of slot numbers (or node ids): the flat form of
+/// the std::set both engines used for pipeline accounting and vote
+/// membership. Insertions are near-append in steady state (slots open in
+/// ascending order), membership is a binary search, and iteration stays
+/// ascending — byte-identical to the tree it replaced wherever emitted
+/// message contents depend on the order.
+template <typename T>
+class SortedVec {
+ public:
+  /// Inserts `v` if absent; returns true when newly inserted.
+  bool Insert(T v) {
+    if (vals_.empty() || vals_.back() < v) {  // common append path
+      vals_.push_back(v);
+      return true;
+    }
+    auto it = std::lower_bound(vals_.begin(), vals_.end(), v);
+    if (it != vals_.end() && *it == v) return false;
+    vals_.insert(it, v);
+    return true;
+  }
+  bool Erase(T v) {
+    auto it = std::lower_bound(vals_.begin(), vals_.end(), v);
+    if (it == vals_.end() || *it != v) return false;
+    vals_.erase(it);
+    return true;
+  }
+  /// Drops every element <= bound (GC below a stable checkpoint).
+  void EraseUpTo(T bound) {
+    auto it = std::upper_bound(vals_.begin(), vals_.end(), bound);
+    vals_.erase(vals_.begin(), it);
+  }
+  bool Contains(T v) const {
+    return std::binary_search(vals_.begin(), vals_.end(), v);
+  }
+  size_t size() const { return vals_.size(); }
+  bool empty() const { return vals_.empty(); }
+  void clear() { vals_.clear(); }
+  typename std::vector<T>::const_iterator begin() const {
+    return vals_.begin();
+  }
+  typename std::vector<T>::const_iterator end() const { return vals_.end(); }
+
+ private:
+  std::vector<T> vals_;
+};
+
+/// Memoized consensus signable for one slot. Every PBFT sign *and*
+/// verify needs ConsensusSignable(view, slot, value_digest); within a
+/// slot the (view, digest) pair is stable across the whole
+/// pre-prepare/prepare/commit exchange, so one derivation serves the
+/// pre-prepare signature, the self-prepare, every vote verification and
+/// the commit signature. The cache is keyed by (view, digest): a view
+/// change or an equivocating digest misses and recomputes, so a stale
+/// view's signable can never be served for a newer view's signature.
+class SignableCache {
+ public:
+  const Sha256Digest& Get(ViewNo view, uint64_t slot,
+                          const Sha256Digest& value_digest) {
+    if (!valid_ || view_ != view || slot_ != slot ||
+        !(for_digest_ == value_digest)) {
+      signable_ = ConsensusSignable(view, slot, value_digest);
+      view_ = view;
+      slot_ = slot;
+      for_digest_ = value_digest;
+      valid_ = true;
+    }
+    return signable_;
+  }
+
+  /// Installs an externally computed signable (e.g. one derived for a
+  /// signature check before the slot state existed), so the immediately
+  /// following sign over the same (view, slot, digest) is a hit.
+  void Seed(ViewNo view, uint64_t slot, const Sha256Digest& value_digest,
+            const Sha256Digest& signable) {
+    view_ = view;
+    slot_ = slot;
+    for_digest_ = value_digest;
+    signable_ = signable;
+    valid_ = true;
+  }
+
+ private:
+  bool valid_ = false;
+  ViewNo view_ = 0;
+  uint64_t slot_ = 0;
+  Sha256Digest for_digest_;
+  Sha256Digest signable_;
 };
 
 /// Callbacks wiring a consensus engine into its hosting actor (an
@@ -194,6 +287,12 @@ class InternalConsensus {
   EngineContext ctx_;
 
  private:
+  /// Single-entry memo for CheckpointSignable(slot, digest): votes for
+  /// one boundary arrive in a burst (own sign + one verify per peer), so
+  /// the same signable is derived N+1 times per interval without it.
+  const Sha256Digest& CkptSignableFor(uint64_t slot,
+                                      const Sha256Digest& digest);
+
   void RecordCheckpointVote(uint64_t slot, const Sha256Digest& digest,
                             const Signature& sig);
   /// A stable certificate appeared (own tally, a peer's carried cert, or
@@ -212,6 +311,10 @@ class InternalConsensus {
   std::map<uint64_t, std::vector<CkptTally>> ckpt_votes_;
   CheckpointCertificate stable_;
   uint64_t gc_floor_ = 0;
+  bool ckpt_signable_valid_ = false;
+  uint64_t ckpt_signable_slot_ = 0;
+  Sha256Digest ckpt_signable_for_;
+  Sha256Digest ckpt_signable_;
 };
 
 }  // namespace qanaat

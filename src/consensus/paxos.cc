@@ -8,6 +8,7 @@ PaxosEngine::PaxosEngine(EngineContext ctx, int f, SimTime base_timeout_us)
     : InternalConsensus(std::move(ctx)),
       f_(f),
       base_timeout_(base_timeout_us) {
+  slots_.reserve(1 << 12);
   // Ballot 0 belongs to index 0 with an empty history: it leads from the
   // start without a phase-1.
   leading_ = (ctx_.cluster[0] == ctx_.self);
@@ -45,23 +46,23 @@ void PaxosEngine::StartSlot(const ConsensusValue& v) {
   st.value = v;
   st.digest = v.Digest();
   st.have_value = true;
-  st.accepted.insert(ctx_.self);
-  my_open_slots_.insert(slot);
+  st.accepted.Insert(ctx_.self);
+  my_open_slots_.Insert(slot);
 
   BroadcastAccept(slot, st);
-  ArmSlotTimer(slot);
+  ArmSlotTimer(slot, st);
 
   // f = 0 degenerate case: single-node cluster decides immediately.
   if (st.accepted.size() >= Quorum()) {
-    MarkLearned(slot);
+    MarkLearned(slot, st);
     DeliverReady();
   }
 }
 
-void PaxosEngine::MarkLearned(uint64_t slot) {
-  slots_[slot].learned = true;
+void PaxosEngine::MarkLearned(uint64_t slot, SlotState& st) {
+  st.learned = true;
   max_learned_ = std::max(max_learned_, slot);
-  my_open_slots_.erase(slot);
+  my_open_slots_.Erase(slot);
   DrainProposeQueue();
 }
 
@@ -123,7 +124,9 @@ void PaxosEngine::HandleAccept(NodeId from, const PaxosAcceptMsg& m) {
   promised_ = std::max(promised_, m.ballot);
   ObserveBallot(m.ballot);
   if (from != PrimaryNode()) return;
-  if (m.slot <= last_delivered_ && !slots_.count(m.slot)) {
+  // One lookup serves the GC'd-slot check and the state access below.
+  auto it = slots_.find(m.slot);
+  if (m.slot <= last_delivered_ && it == slots_.end()) {
     // Delivered and garbage-collected: the leader is refreshing a slot we
     // already applied. Ack it so its catch-up can quorum; CFT leaders are
     // honest, and post-phase-1 re-drives carry only decided values.
@@ -134,7 +137,8 @@ void PaxosEngine::HandleAccept(NodeId from, const PaxosAcceptMsg& m) {
     ctx_.send(from, resp);
     return;
   }
-  SlotState& st = slots_[m.slot];
+  if (it == slots_.end()) it = slots_.try_emplace(m.slot).first;
+  SlotState& st = it->second;
   if (st.delivered) {
     // Already applied here, but the (new) leader may be re-driving the
     // slot to finish its own catch-up: ack the decided value so it can
@@ -169,25 +173,25 @@ void PaxosEngine::HandleAccept(NodeId from, const PaxosAcceptMsg& m) {
   // consume it now that the value is known.
   if (st.learn_pending && st.learn_digest == st.digest && !st.learned) {
     ctx_.env->metrics.Inc("paxos.pending_learn_consumed");
-    MarkLearned(m.slot);
+    MarkLearned(m.slot, st);
     DeliverReady();
     return;
   }
-  ArmSlotTimer(m.slot);
+  ArmSlotTimer(m.slot, st);
 }
 
 void PaxosEngine::HandleAccepted(NodeId from, const PaxosAcceptedMsg& m) {
   if (m.ballot != ballot_ || !IsPrimary() || !leading_) return;
   SlotState& st = slots_[m.slot];
   if (!st.have_value || st.digest != m.value_digest) return;
-  st.accepted.insert(from);
+  st.accepted.Insert(from);
   if (st.learned || st.accepted.size() < Quorum()) return;
   auto learn = std::make_shared<PaxosLearnMsg>();
   learn->ballot = m.ballot;
   learn->slot = m.slot;
   learn->value_digest = st.digest;
   ctx_.broadcast(learn);
-  MarkLearned(m.slot);
+  MarkLearned(m.slot, st);
   DeliverReady();
 }
 
@@ -205,7 +209,7 @@ void PaxosEngine::HandleLearn(NodeId from, const PaxosLearnMsg& m) {
     st.learn_digest = m.value_digest;
     return;
   }
-  MarkLearned(m.slot);
+  MarkLearned(m.slot, st);
   DeliverReady();
 }
 
@@ -218,18 +222,27 @@ void PaxosEngine::DeliverReady() {
     }
     it->second.delivered = true;
     ++last_delivered_;
+    uint64_t slot = it->first;
     Sha256Digest vd = it->second.digest;
-    ctx_.deliver(it->first, it->second.value);
+    // Copy the value out before delivering: the host callback can
+    // re-enter the engine (propose, install a checkpoint), and an
+    // insert-triggered rehash of the flat slot map would invalidate a
+    // reference into it mid-call.
+    ConsensusValue v = it->second.value;
+    ctx_.deliver(slot, v);
     NoteDelivered(last_delivered_, vd);
   }
   MaybeArmGapTimer();
 }
 
 void PaxosEngine::GarbageCollectBelow(uint64_t slot) {
-  slots_.erase(slots_.begin(), slots_.upper_bound(slot));
-  my_open_slots_.erase(my_open_slots_.begin(),
-                       my_open_slots_.upper_bound(slot));
-  gathered_.erase(gathered_.begin(), gathered_.upper_bound(slot));
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    it = it->first <= slot ? slots_.erase(it) : std::next(it);
+  }
+  my_open_slots_.EraseUpTo(slot);
+  for (auto it = gathered_.begin(); it != gathered_.end();) {
+    it = it->first <= slot ? gathered_.erase(it) : std::next(it);
+  }
 }
 
 void PaxosEngine::AdvanceFrontierTo(uint64_t slot) {
@@ -262,8 +275,7 @@ void PaxosEngine::MaybeArmGapTimer() {
   ctx_.start_timer(base_timeout_, kTagGapTimeout, last_delivered_);
 }
 
-void PaxosEngine::ArmSlotTimer(uint64_t slot) {
-  SlotState& st = slots_[slot];
+void PaxosEngine::ArmSlotTimer(uint64_t slot, SlotState& st) {
   if (st.timer_armed || st.learned) return;
   st.timer_armed = true;
   ctx_.start_timer(base_timeout_, kTagSlotTimeout, slot);
@@ -340,7 +352,7 @@ void PaxosEngine::TakeOver() {
   // Phase-1: gather what a quorum has accepted before driving anything.
   promises_.clear();
   gathered_.clear();
-  promises_.insert(ctx_.self);
+  promises_.Insert(ctx_.self);
   for (const auto& [slot, st] : slots_) {
     if (st.have_value && slot > last_delivered_) {
       MergeGathered(slot, st.ballot, st.value, st.digest);
@@ -377,10 +389,22 @@ void PaxosEngine::HandlePrepare(NodeId from, const PaxosPrepareMsg& m) {
   auto pr = std::make_shared<PaxosPromiseMsg>();
   pr->ballot = m.ballot;
   uint32_t bytes = 32;
-  for (const auto& [slot, st] : slots_) {
-    if (!st.have_value || slot <= m.last_delivered) continue;
+  // Gather accepted slots in ascending slot order: slots_ is a hash map,
+  // but the emitted promise must keep the deterministic order the old
+  // ordered map produced (message contents feed the replay trace).
+  std::vector<const std::pair<const uint64_t, SlotState>*> accepted_slots;
+  for (const auto& entry : slots_) {
+    if (!entry.second.have_value || entry.first <= m.last_delivered) {
+      continue;
+    }
+    accepted_slots.push_back(&entry);
+  }
+  std::sort(accepted_slots.begin(), accepted_slots.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : accepted_slots) {
+    const SlotState& st = entry->second;
     PaxosAcceptedSlot a;
-    a.slot = slot;
+    a.slot = entry->first;
     a.ballot = st.ballot;
     a.value = st.value;
     a.digest = st.digest;
@@ -414,7 +438,7 @@ void PaxosEngine::HandlePromise(NodeId from, const PaxosPromiseMsg& m) {
     ctx_.env->metrics.Inc("paxos.takeover_awaits_transfer");
     ctx_.request_state_transfer(m.stable);
   }
-  promises_.insert(from);
+  promises_.Insert(from);
   if (awaiting_transfer_ > last_delivered_) return;
   if (promises_.size() >= Quorum()) FinishTakeover();
 }
@@ -462,11 +486,11 @@ void PaxosEngine::FinishTakeover() {
       continue;
     }
     st.accepted.clear();
-    st.accepted.insert(ctx_.self);
-    my_open_slots_.insert(slot);
+    st.accepted.Insert(ctx_.self);
+    my_open_slots_.Insert(slot);
     BroadcastAccept(slot, st);
     st.timer_armed = false;
-    ArmSlotTimer(slot);
+    ArmSlotTimer(slot, st);
   }
   DeliverReady();
   DrainProposeQueue();

@@ -2,8 +2,7 @@
 #define QANAAT_CONSENSUS_PAXOS_H_
 
 #include <deque>
-#include <map>
-#include <set>
+#include <unordered_map>
 
 #include "consensus/engine.h"
 #include "consensus/messages.h"
@@ -62,7 +61,7 @@ class PaxosEngine : public InternalConsensus {
   bool leading() const { return leading_; }
 
   bool HasSlotState(uint64_t slot) const override {
-    return slots_.count(slot) > 0;
+    return slots_.find(slot) != slots_.end();
   }
   size_t retained_slots() const { return slots_.size(); }
 
@@ -80,7 +79,7 @@ class PaxosEngine : public InternalConsensus {
     ConsensusValue value;
     Sha256Digest digest;
     bool have_value = false;
-    std::set<NodeId> accepted;
+    SortedVec<NodeId> accepted;
     // A LEARN that overtook its ACCEPT (reordered delivery): remembered
     // here and consumed when the value arrives, instead of being lost.
     bool learn_pending = false;
@@ -104,14 +103,16 @@ class PaxosEngine : public InternalConsensus {
   void HandlePrepare(NodeId from, const PaxosPrepareMsg& m);
   void HandlePromise(NodeId from, const PaxosPromiseMsg& m);
   void DeliverReady();
-  void ArmSlotTimer(uint64_t slot);
+  // Handlers thread the SlotState& they already hold (one hash lookup
+  // per message) instead of re-looking the slot up in every helper.
+  void ArmSlotTimer(uint64_t slot, SlotState& st);
   void MaybeArmGapTimer();
   bool AtPipelineCap() const {
     return ctx_.pipeline_depth > 0 &&
            my_open_slots_.size() >= ctx_.pipeline_depth;
   }
   void StartSlot(const ConsensusValue& v);
-  void MarkLearned(uint64_t slot);
+  void MarkLearned(uint64_t slot, SlotState& st);
   void DrainProposeQueue();
   /// Ballot takeover phase-1: claim a ballot we own and solicit promises.
   void TakeOver();
@@ -143,13 +144,19 @@ class PaxosEngine : public InternalConsensus {
   /// would no-op-fill slots the quorum has garbage-collected, and those
   /// fills can never gather acks from delivered replicas.
   uint64_t awaiting_transfer_ = 0;
-  std::map<uint64_t, SlotState> slots_;
+  // Slot states live in a flat hash map, mirroring PBFT's treatment:
+  // every message touches its slot a few times and long runs accumulate
+  // tens of thousands of slots, where the ordered map paid a pointer-
+  // chasing tree walk per touch. The rare paths that need slots in order
+  // (promise assembly, takeover re-drive) gather and sort, so emitted
+  // message contents keep the exact order the ordered map produced.
+  std::unordered_map<uint64_t, SlotState> slots_;
   // Phase-1 state for ballot_ (valid while !leading_ and we own ballot_).
-  std::set<NodeId> promises_;
-  std::map<uint64_t, PaxosAcceptedSlot> gathered_;
+  SortedVec<NodeId> promises_;
+  std::unordered_map<uint64_t, PaxosAcceptedSlot> gathered_;
   // Pipelining: slots we drove that are not learned yet, and proposals
   // queued behind the pipeline-depth cap.
-  std::set<uint64_t> my_open_slots_;
+  SortedVec<uint64_t> my_open_slots_;
   std::deque<ConsensusValue> propose_queue_;
 };
 

@@ -18,6 +18,32 @@ Sha256Digest PbftEngine::SignableDigest(
   return ConsensusSignable(v, slot, value_digest);
 }
 
+namespace {
+// The view-change/new-view signables salt a fixed string digest; hash it
+// once per process instead of on every vote sent or verified.
+const Sha256Digest& ViewChangeSalt() {
+  static const Sha256Digest d = Sha256::Hash("view-change");
+  return d;
+}
+const Sha256Digest& NewViewSalt() {
+  static const Sha256Digest d = Sha256::Hash("new-view");
+  return d;
+}
+}  // namespace
+
+bool PbftEngine::VerifyVote(const Signature& sig, ViewNo view, uint64_t slot,
+                            const Sha256Digest& digest, SlotState* st,
+                            Sha256Digest* fresh) {
+  const Sha256Digest* covered;
+  if (st != nullptr) {
+    covered = &st->signable.Get(view, slot, digest);
+  } else {
+    *fresh = SignableDigest(view, slot, digest);
+    covered = fresh;
+  }
+  return ctx_.env->keystore.Verify(sig, *covered);
+}
+
 void PbftEngine::SendPrePrepare(uint64_t slot, SlotState& st) {
   if (!equivocate_) {
     auto pp = std::make_shared<PrePrepareMsg>();
@@ -25,8 +51,8 @@ void PbftEngine::SendPrePrepare(uint64_t slot, SlotState& st) {
     pp->slot = slot;
     pp->value = st.value;
     pp->value_digest = st.digest;
-    pp->sig = ctx_.env->keystore.Sign(ctx_.self,
-                                      SignableDigest(view_, slot, st.digest));
+    pp->sig = ctx_.env->keystore.Sign(
+        ctx_.self, st.signable.Get(view_, slot, st.digest));
     pp->wire_bytes = 96 + st.value.WireSize();
     // Backups re-verify the client signature of every transaction in the
     // batch before preparing (PBFT request authentication).
@@ -81,11 +107,12 @@ void PbftEngine::StartSlot(const ConsensusValue& v) {
   st.value = v;
   st.digest = v.Digest();
   st.have_preprepare = true;
-  my_open_slots_.insert(slot);
+  my_open_slots_.Insert(slot);
   SendPrePrepare(slot, st);
-  // The primary's own PREPARE is implicit in the PRE-PREPARE.
+  // The primary's own PREPARE is implicit in the PRE-PREPARE; the slot
+  // memo filled by SendPrePrepare makes this signable a hit.
   st.prepares.Put(ctx_.self, ctx_.env->keystore.Sign(
-      ctx_.self, SignableDigest(view_, slot, st.digest)));
+      ctx_.self, st.signable.Get(view_, slot, st.digest)));
   ArmSlotTimer(slot, st);
 }
 
@@ -235,7 +262,7 @@ void PbftEngine::StartViewChange(ViewNo target, bool lone_suspicion) {
     vc->prepared.push_back(std::move(p));
   }
   vc->sig = ctx_.env->keystore.Sign(
-      ctx_.self, SignableDigest(target, 0, Sha256::Hash("view-change")));
+      ctx_.self, SignableDigest(target, 0, ViewChangeSalt()));
   vc->wire_bytes = 128 + static_cast<uint32_t>(vc->prepared.size()) * 64;
   ctx_.broadcast(vc);
   // Count our own vote.
@@ -300,13 +327,17 @@ void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
   // Delivered (possibly GC'd) slot: nothing to do, and touching slots_
   // would resurrect an entry below the GC floor.
   if (m.slot <= last_delivered_) return;
-  if (!ctx_.env->keystore.Verify(m.sig,
-                                 SignableDigest(m.view, m.slot,
-                                                m.value_digest))) {
+  auto it = slots_.find(m.slot);
+  Sha256Digest fresh;
+  if (!VerifyVote(m.sig, m.view, m.slot, m.value_digest,
+                  it != slots_.end() ? &it->second : nullptr, &fresh)) {
     ctx_.env->metrics.Inc("pbft.bad_sig");
-    return;
+    return;  // a bad signature must not create slot state
   }
-  SlotState& st = slots_[m.slot];
+  bool created = it == slots_.end();
+  if (created) it = slots_.try_emplace(m.slot).first;
+  SlotState& st = it->second;
+  if (created) st.signable.Seed(m.view, m.slot, m.value_digest, fresh);
   if (st.delivered) return;  // already decided and applied here
   if (st.have_preprepare && st.digest != m.value_digest) {
     // Conflicting pre-prepare from the primary: equivocation evidence.
@@ -328,7 +359,7 @@ void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
   prep->slot = m.slot;
   prep->value_digest = m.value_digest;
   prep->sig = ctx_.env->keystore.Sign(
-      ctx_.self, SignableDigest(m.view, m.slot, m.value_digest));
+      ctx_.self, st.signable.Get(m.view, m.slot, m.value_digest));
   ctx_.broadcast(prep);
   st.prepares.Put(ctx_.self, prep->sig);
   MaybePrepared(m.slot, st);
@@ -337,12 +368,17 @@ void PbftEngine::HandlePrePrepare(NodeId from, const PrePrepareMsg& m) {
 void PbftEngine::HandlePrepare(NodeId from, const PrepareMsg& m) {
   if (m.view != view_ || in_view_change_) return;
   if (m.slot <= last_delivered_) return;  // delivered (possibly GC'd)
-  if (!ctx_.env->keystore.Verify(
-          m.sig, SignableDigest(m.view, m.slot, m.value_digest))) {
+  auto it = slots_.find(m.slot);
+  Sha256Digest fresh;
+  if (!VerifyVote(m.sig, m.view, m.slot, m.value_digest,
+                  it != slots_.end() ? &it->second : nullptr, &fresh)) {
     ctx_.env->metrics.Inc("pbft.bad_sig");
-    return;
+    return;  // a bad signature must not create slot state
   }
-  SlotState& st = slots_[m.slot];
+  bool created = it == slots_.end();
+  if (created) it = slots_.try_emplace(m.slot).first;
+  SlotState& st = it->second;
+  if (created) st.signable.Seed(m.view, m.slot, m.value_digest, fresh);
   // Only count prepares matching the pre-prepared digest (once known).
   if (st.have_preprepare && st.digest != m.value_digest) return;
   if (!st.have_preprepare) {
@@ -366,8 +402,8 @@ void PbftEngine::MaybePrepared(uint64_t slot, SlotState& st) {
   c->view = st.view;
   c->slot = slot;
   c->value_digest = st.digest;
-  c->sig = ctx_.env->keystore.Sign(ctx_.self,
-                                   SignableDigest(st.view, slot, st.digest));
+  c->sig = ctx_.env->keystore.Sign(
+      ctx_.self, st.signable.Get(st.view, slot, st.digest));
   ctx_.broadcast(c);
   st.commits.Put(ctx_.self, c->sig);
   MaybeCommitted(slot, st);
@@ -376,12 +412,17 @@ void PbftEngine::MaybePrepared(uint64_t slot, SlotState& st) {
 void PbftEngine::HandleCommit(NodeId from, const CommitMsg& m) {
   if (m.view != view_ || in_view_change_) return;
   if (m.slot <= last_delivered_) return;  // delivered (possibly GC'd)
-  if (!ctx_.env->keystore.Verify(
-          m.sig, SignableDigest(m.view, m.slot, m.value_digest))) {
+  auto it = slots_.find(m.slot);
+  Sha256Digest fresh;
+  if (!VerifyVote(m.sig, m.view, m.slot, m.value_digest,
+                  it != slots_.end() ? &it->second : nullptr, &fresh)) {
     ctx_.env->metrics.Inc("pbft.bad_sig");
-    return;
+    return;  // a bad signature must not create slot state
   }
-  SlotState& st = slots_[m.slot];
+  bool created = it == slots_.end();
+  if (created) it = slots_.try_emplace(m.slot).first;
+  SlotState& st = it->second;
+  if (created) st.signable.Seed(m.view, m.slot, m.value_digest, fresh);
   if (st.have_preprepare && st.digest != m.value_digest) return;
   st.commits.Put(from, m.sig);
   ArmSlotTimer(m.slot, st);
@@ -393,7 +434,7 @@ void PbftEngine::MaybeCommitted(uint64_t slot, SlotState& st) {
   if (st.commits.size() < Quorum()) return;
   st.committed = true;
   max_committed_ = std::max(max_committed_, slot);
-  my_open_slots_.erase(slot);
+  my_open_slots_.Erase(slot);
   DeliverReady();
   DrainProposeQueue();
 }
@@ -408,8 +449,14 @@ void PbftEngine::DeliverReady() {
     it->second.delivered = true;
     ++last_delivered_;
     fill_stalls_ = 0;
+    uint64_t slot = it->first;
     Sha256Digest vd = it->second.digest;
-    ctx_.deliver(it->first, it->second.value);
+    // Copy the value out before delivering: the host callback can
+    // re-enter the engine (propose, install a checkpoint), and an
+    // insert-triggered rehash of the flat slot map would invalidate a
+    // reference into it mid-call.
+    ConsensusValue v = it->second.value;
+    ctx_.deliver(slot, v);
     NoteDelivered(last_delivered_, vd);
   }
   MaybeRequestFill();
@@ -419,8 +466,7 @@ void PbftEngine::GarbageCollectBelow(uint64_t slot) {
   for (auto it = slots_.begin(); it != slots_.end();) {
     it = it->first <= slot ? slots_.erase(it) : std::next(it);
   }
-  my_open_slots_.erase(my_open_slots_.begin(),
-                       my_open_slots_.upper_bound(slot));
+  my_open_slots_.EraseUpTo(slot);
 }
 
 void PbftEngine::AdvanceFrontierTo(uint64_t slot) {
@@ -541,7 +587,7 @@ void PbftEngine::HandleFillReply(NodeId from, const FillReplyMsg& m) {
   st.committed = true;
   for (const auto& sig : m.commit_proof) st.commits.Put(sig.signer, sig);
   max_committed_ = std::max(max_committed_, m.slot);
-  my_open_slots_.erase(m.slot);
+  my_open_slots_.Erase(m.slot);
   DeliverReady();
   DrainProposeQueue();
 }
@@ -594,7 +640,7 @@ void PbftEngine::HandleViewChange(NodeId from, const ViewChangeMsg& m) {
   }
   for (auto& [slot, p] : merged) nv->reproposals.push_back(p);
   nv->sig = ctx_.env->keystore.Sign(
-      ctx_.self, SignableDigest(m.new_view, 0, Sha256::Hash("new-view")));
+      ctx_.self, SignableDigest(m.new_view, 0, NewViewSalt()));
   nv->wire_bytes = 128 + static_cast<uint32_t>(nv->reproposals.size()) * 96;
   ctx_.broadcast(nv);
   HandleNewView(ctx_.self, *nv);
@@ -613,8 +659,7 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
   NodeId expected_primary = ctx_.cluster[m.new_view % ClusterSize()];
   if (m.sig.signer != expected_primary) return;
   if (!ctx_.env->keystore.Verify(
-          m.sig,
-          SignableDigest(m.new_view, 0, Sha256::Hash("new-view")))) {
+          m.sig, SignableDigest(m.new_view, 0, NewViewSalt()))) {
     return;
   }
   view_ = m.new_view;
@@ -665,10 +710,10 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       st.value = p.value;
       st.digest = p.value_digest;
       st.have_preprepare = true;
-      my_open_slots_.insert(p.slot);
+      my_open_slots_.Insert(p.slot);
       SendPrePrepare(p.slot, st);
       st.prepares.Put(ctx_.self, ctx_.env->keystore.Sign(
-          ctx_.self, SignableDigest(view_, p.slot, st.digest)));
+          ctx_.self, st.signable.Get(view_, p.slot, st.digest)));
       ArmSlotTimer(p.slot, st);
     }
     // Fill abandoned slots (proposed in the old view but prepared
@@ -682,10 +727,10 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       st.value = ConsensusValue{};
       st.digest = st.value.Digest();
       st.have_preprepare = true;
-      my_open_slots_.insert(slot);
+      my_open_slots_.Insert(slot);
       SendPrePrepare(slot, st);
       st.prepares.Put(ctx_.self, ctx_.env->keystore.Sign(
-          ctx_.self, SignableDigest(view_, slot, st.digest)));
+          ctx_.self, st.signable.Get(view_, slot, st.digest)));
       ArmSlotTimer(slot, st);
     }
   } else {
@@ -703,7 +748,7 @@ void PbftEngine::HandleNewView(NodeId from, const NewViewMsg& m) {
       prep->slot = p.slot;
       prep->value_digest = p.value_digest;
       prep->sig = ctx_.env->keystore.Sign(
-          ctx_.self, SignableDigest(view_, p.slot, p.value_digest));
+          ctx_.self, st.signable.Get(view_, p.slot, p.value_digest));
       ctx_.broadcast(prep);
       st.prepares.Put(ctx_.self, prep->sig);
       ArmSlotTimer(p.slot, st);

@@ -86,6 +86,11 @@ class PbftEngine : public InternalConsensus {
     bool committed = false;
     bool delivered = false;
     bool timer_armed = false;
+    // Memoized ConsensusSignable for this slot, keyed (view, digest):
+    // one derivation serves the pre-prepare signature, the self-prepare,
+    // every vote verification and the commit signature; a view change or
+    // an equivocating digest misses and recomputes.
+    SignableCache signable;
   };
 
   static constexpr uint64_t kTagSlotTimeout = kEngineTimerBase + 1;
@@ -115,6 +120,14 @@ class PbftEngine : public InternalConsensus {
   /// nothing by itself, so without the fill protocol this node would
   /// stall forever and permanently shrink the live quorum.
   void MaybeRequestFill();
+
+  /// Verifies `sig` over ConsensusSignable(view, slot, digest) without
+  /// creating slot state: uses the slot's memo when the slot exists,
+  /// otherwise derives once into *fresh (the caller seeds the memo after
+  /// it creates the slot, so the following sign is a hit).
+  bool VerifyVote(const Signature& sig, ViewNo view, uint64_t slot,
+                  const Sha256Digest& digest, SlotState* st,
+                  Sha256Digest* fresh);
 
   void MaybePrepared(uint64_t slot, SlotState& st);
   void MaybeCommitted(uint64_t slot, SlotState& st);
@@ -156,7 +169,7 @@ class PbftEngine : public InternalConsensus {
   std::unordered_map<uint64_t, SlotState> slots_;
   // Pipelining: slots we proposed that have not committed yet, and
   // proposals queued behind the pipeline-depth cap.
-  std::set<uint64_t> my_open_slots_;
+  SortedVec<uint64_t> my_open_slots_;
   std::deque<ConsensusValue> propose_queue_;
   // View-change bookkeeping: new_view -> sender -> message
   std::map<ViewNo, std::map<NodeId, std::shared_ptr<const ViewChangeMsg>>>

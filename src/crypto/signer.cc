@@ -1,7 +1,6 @@
 #include "crypto/signer.h"
 
 #include <cstring>
-#include <set>
 
 #include "common/rng.h"
 
@@ -87,10 +86,11 @@ bool ThresholdCert::DecodeFrom(Decoder* dec, ThresholdCert* out) {
 
 bool ThresholdCert::Valid(const KeyStore& ks, const Sha256Digest& digest,
                           size_t threshold) const {
-  std::set<NodeId> distinct;
+  std::vector<NodeId> distinct;
+  distinct.reserve(shares.size());
   for (const auto& s : shares) {
     if (!ks.VerifyShare(s, digest)) return false;
-    distinct.insert(s.signer);
+    AddDistinctSigner(&distinct, s.signer);
   }
   return distinct.size() >= threshold;
 }

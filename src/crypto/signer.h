@@ -71,6 +71,18 @@ class KeyStore {
   uint64_t seed_;
 };
 
+/// Appends `signer` to the flat distinct-signer list unless already
+/// present. Certificate validators count distinct signers over
+/// quorum-sized lists, where a linear probe over a small vector beats
+/// the tree allocation per signature this replaced; shared here so the
+/// threshold-share and commit-quorum validators cannot diverge.
+inline void AddDistinctSigner(std::vector<NodeId>* distinct, NodeId signer) {
+  for (NodeId n : *distinct) {
+    if (n == signer) return;
+  }
+  distinct->push_back(signer);
+}
+
 /// A threshold signature certificate: k signature shares from distinct
 /// nodes over the same digest. Valid iff it has >= `threshold` distinct
 /// valid shares.

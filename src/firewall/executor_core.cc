@@ -55,8 +55,8 @@ uint64_t ExecutorCore::ExecuteTx(const Transaction& tx,
     switch (op.kind) {
       case TxOp::Kind::kRead: {
         if (!on_my_shard(op.key)) break;
-        auto v = own->Get(op.key);
-        mix(v.ok() ? static_cast<uint64_t>(*v) : 0);
+        const int64_t* v = own->Find(op.key);
+        mix(v != nullptr ? static_cast<uint64_t>(*v) : 0);
         break;
       }
       case TxOp::Kind::kWrite: {
@@ -79,8 +79,8 @@ uint64_t ExecutorCore::ExecuteTx(const Transaction& tx,
           }
         }
         if (!in_batch) {
-          auto v = own->Get(op.key);
-          if (v.ok()) cur = *v;
+          const int64_t* v = own->Find(op.key);
+          if (v != nullptr) cur = *v;
         }
         batch.Put(op.key, cur + op.value);
         mix(static_cast<uint64_t>(cur + op.value));
@@ -122,9 +122,14 @@ void ExecutorCore::ExecuteNow(Pending& p) {
     acc ^= ExecuteTx(tx, p.gamma, p.alpha.n) * 0x9e3779b97f4a7c15ULL;
     res.clients.emplace_back(tx.client, tx.client_ts);
   }
-  Encoder enc;
-  enc.PutU64(acc);
-  res.result_digest = Sha256::Hash(enc.buffer());
+  // The result digest authenticates the 64-bit execution fold `acc`
+  // against the (real-SHA) block digest; deriving it with the keyed
+  // digest mix instead of hashing an 8-byte buffer keeps the content
+  // chain rooted in SHA-256 while dropping a full SHA per block
+  // execution per replica (see DeriveDigest in ledger/block.h).
+  res.result_digest =
+      DeriveDigest(0x52534c54u /* "RSLT" */, acc, p.alpha.n,
+                   p.block->Digest());
   res.cpu_cost =
       static_cast<SimTime>(res.tx_count) * env_->costs.exec_tx_us;
   executed_blocks_++;

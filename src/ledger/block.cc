@@ -73,7 +73,8 @@ namespace {
 bool QuorumOfValidSigs(const KeyStore& ks, const Sha256Digest& digest,
                        const std::vector<Signature>& sigs, size_t quorum,
                        const std::vector<NodeId>* allowed) {
-  std::set<NodeId> distinct;
+  std::vector<NodeId> distinct;
+  distinct.reserve(sigs.size());
   for (const auto& s : sigs) {
     if (!ks.Verify(s, digest)) return false;
     if (allowed != nullptr &&
@@ -81,7 +82,7 @@ bool QuorumOfValidSigs(const KeyStore& ks, const Sha256Digest& digest,
             allowed->end()) {
       return false;
     }
-    distinct.insert(s.signer);
+    AddDistinctSigner(&distinct, s.signer);
   }
   return distinct.size() >= quorum;
 }

@@ -27,7 +27,7 @@ Status DagLedger::CheckAppend(const LocalPart& alpha,
   ShardRef ref{alpha.collection, alpha.shard};
   // Local consistency: gapless, increasing sequence per collection shard.
   SeqNo head = 0;
-  if (auto it = heads_.find(ref); it != heads_.end()) head = it->second;
+  if (const SeqNo* at = heads_.Find(ref)) head = *at;
   if (alpha.n != head + 1) {
     return Status::FailedPrecondition(
         "local consistency: expected n=" + std::to_string(head + 1) +
@@ -69,13 +69,13 @@ Status DagLedger::AppendFor(BlockPtr block, CommitCertificate cert,
 }
 
 SeqNo DagLedger::HeadOf(const ShardRef& ref) const {
-  auto it = heads_.find(ref);
-  return it == heads_.end() ? 0 : it->second;
+  const SeqNo* at = heads_.Find(ref);
+  return at == nullptr ? 0 : *at;
 }
 
 SeqNo DagLedger::StateOf(const CollectionId& c) const {
-  auto it = collection_state_.find(c);
-  return it == collection_state_.end() ? 0 : it->second;
+  const SeqNo* at = collection_state_.Find(c);
+  return at == nullptr ? 0 : *at;
 }
 
 const std::vector<size_t>& DagLedger::ChainOf(const ShardRef& ref) const {

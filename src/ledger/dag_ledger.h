@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "collections/collection_id.h"
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "crypto/signer.h"
 #include "ledger/block.h"
@@ -79,8 +80,9 @@ class DagLedger {
 
   std::vector<Entry> entries_;
   std::map<ShardRef, std::vector<size_t>> chains_;  // per collection shard
-  std::map<ShardRef, SeqNo> heads_;
-  std::map<CollectionId, SeqNo> collection_state_;
+  // Hot per-commit lookups: flat sorted-vector maps (see common/flat_map.h).
+  FlatMap<ShardRef, SeqNo> heads_;
+  FlatMap<CollectionId, SeqNo> collection_state_;
   uint64_t total_txs_ = 0;
 };
 

@@ -24,11 +24,15 @@ OrderingNode::OrderingNode(Env* env, const Directory* dir,
           },
           [this](const FlowKey& key, std::vector<Transaction> txs,
                  BatchClose why) { OnBatchClosed(key, std::move(txs), why); }) {
-  // The dedup maps sit on the per-request hot path; reserve them so
-  // steady-state intake never rehashes mid-run.
-  seen_requests_.reserve(1 << 13);
-  observed_requests_.reserve(1 << 13);
-  committed_requests_.reserve(1 << 14);
+  // The dedup tables sit on the per-request hot path. A modest seed
+  // reservation skips the first few growth rebuilds; further growth is
+  // amortized (each rebuild is a flat copy), which beats the old
+  // megabyte-scale up-front reservations — zeroing those dominated
+  // node construction and wrecked cache locality for the common small
+  // case.
+  seen_requests_.reserve(1 << 10);
+  observed_requests_.reserve(1 << 10);
+  committed_requests_.reserve(1 << 10);
   EngineContext ctx;
   ctx.env = env;
   ctx.self = id();
@@ -207,8 +211,8 @@ void OrderingNode::OnMessage(NodeId from, const MessageRef& msg) {
       reply->result_digest = m.result_digest;
       reply->clients = m.clients;
       reply->sig = env()->keystore.Sign(id(), m.result_digest);
-      std::set<NodeId> machines;
-      for (const auto& [c, ts] : m.clients) machines.insert(c);
+      SortedVec<NodeId> machines;
+      for (const auto& [c, ts] : m.clients) machines.Insert(c);
       for (NodeId c : machines) Send(c, reply);
       break;
     }
@@ -391,7 +395,7 @@ void OrderingNode::HandleRequest(NodeId /*from*/, const RequestMsg& m) {
     env()->metrics.Inc("order.rejected_write_rule");
     return;
   }
-  seen_requests_[{tx.client, tx.client_ts}] = now();
+  seen_requests_.Put({tx.client, tx.client_ts}, now());
   MaybePurgeDedup();
 
   // Requests of one flow (same collection + shard set) can legally share
@@ -412,7 +416,7 @@ void OrderingNode::ObserveProposedValue(const ConsensusValue& v) {
 void OrderingNode::ObserveProposedBlock(const BlockPtr& block) {
   if (block == nullptr) return;
   for (const Transaction& tx : block->txs) {
-    observed_requests_[{tx.client, tx.client_ts}] = now();
+    observed_requests_.Put({tx.client, tx.client_ts}, now());
   }
   // Backups never take the intake path, so the observation map must be
   // purged here too or it grows for the whole run on (n-1)/n nodes.
@@ -439,13 +443,14 @@ SimTime OrderingNode::DedupWindowUs() const {
   return 2 * dir_->params.cross_timeout_us;
 }
 
-bool OrderingNode::RecentlyIn(const DedupMap& m, const RequestId& id) const {
-  auto it = m.find(id);
-  return it != m.end() && now() - it->second <= DedupWindowUs();
+bool OrderingNode::RecentlyIn(const RequestTable& m,
+                              const RequestId& id) const {
+  const SimTime* at = m.Find(id);
+  return at != nullptr && now() - *at <= DedupWindowUs();
 }
 
 bool OrderingNode::ObservedRecently(const RequestId& id) const {
-  return committed_requests_.count(id) > 0 ||
+  return committed_requests_.Contains(id) ||
          RecentlyIn(observed_requests_, id);
 }
 
@@ -455,7 +460,7 @@ bool OrderingNode::IsDuplicateRequest(const RequestId& id) const {
   // retransmission may be admitted afresh — otherwise a transaction lost
   // in an abandoned proposal would stay blacklisted here until another
   // node became primary.
-  return committed_requests_.count(id) > 0 ||
+  return committed_requests_.Contains(id) ||
          RecentlyIn(seen_requests_, id) ||
          RecentlyIn(observed_requests_, id);
 }
@@ -464,13 +469,8 @@ void OrderingNode::MaybePurgeDedup() {
   if (now() - last_dedup_purge_ <= DedupWindowUs()) return;
   last_dedup_purge_ = now();
   SimTime horizon = now() - DedupWindowUs();
-  for (auto it = seen_requests_.begin(); it != seen_requests_.end();) {
-    it = it->second < horizon ? seen_requests_.erase(it) : std::next(it);
-  }
-  for (auto it = observed_requests_.begin();
-       it != observed_requests_.end();) {
-    it = it->second < horizon ? observed_requests_.erase(it) : std::next(it);
-  }
+  seen_requests_.PurgeBefore(horizon);
+  observed_requests_.PurgeBefore(horizon);
 }
 
 void OrderingNode::WatchRelayedRequest(const Transaction& tx) {
@@ -495,8 +495,8 @@ LocalPart OrderingNode::NextAlpha(const CollectionId& c) {
 }
 
 SeqNo OrderingNode::StateOfCollection(const CollectionId& c) const {
-  auto it = state_.find(c);
-  return it == state_.end() ? 0 : it->second;
+  const SeqNo* at = state_.Find(c);
+  return at == nullptr ? 0 : *at;
 }
 
 SeqNo OrderingNode::CommittedHeadOf(const CollectionId& c) const {
@@ -510,8 +510,8 @@ std::vector<GammaEntry> OrderingNode::CaptureGamma(
   // execution.
   std::vector<GammaEntry> gamma;
   for (const CollectionId& dep : model_->OrderDependenciesOf(c)) {
-    auto it = state_.find(dep);
-    SeqNo m = (it == state_.end()) ? 0 : it->second;
+    const SeqNo* at = state_.Find(dep);
+    SeqNo m = at == nullptr ? 0 : *at;
     gamma.push_back(GammaEntry{dep, m});
   }
   return gamma;
@@ -617,7 +617,7 @@ void OrderingNode::CommitBlock(const BlockPtr& block, CommitCertificate cert,
                                std::vector<GammaEntry> gamma,
                                bool reply_from_here) {
   for (const Transaction& tx : block->txs) {
-    committed_requests_.insert({tx.client, tx.client_ts});
+    committed_requests_.Put({tx.client, tx.client_ts}, 0);
   }
   // Track committed state for future γ captures.
   auto& st = state_[alpha.collection];
@@ -685,8 +685,10 @@ void OrderingNode::OnExecutedReply(const ExecutorCore::ExecResult& res,
   reply->clients = res.clients;
   reply->sig = env()->keystore.Sign(id(), res.result_digest);
   reply->wire_bytes = 96 + static_cast<uint32_t>(res.clients.size() * 12);
-  std::set<NodeId> machines;
-  for (const auto& [c, ts] : res.clients) machines.insert(c);
+  // Distinct target machines in ascending id order (same order the
+  // std::set this replaced produced) without a tree allocation per reply.
+  SortedVec<NodeId> machines;
+  for (const auto& [c, ts] : res.clients) machines.Insert(c);
   for (NodeId c : machines) Send(c, reply);
 }
 
@@ -699,8 +701,8 @@ void OrderingNode::ForwardReplyCert(const ReplyCertMsg& m) {
   reply_cache_[m.block_digest] = cached;
   if (!engine_->IsPrimary()) return;
   if (!reply_owner_.count(m.block_digest)) return;
-  std::set<NodeId> machines;
-  for (const auto& [c, ts] : m.clients) machines.insert(c);
+  SortedVec<NodeId> machines;
+  for (const auto& [c, ts] : m.clients) machines.Insert(c);
   for (NodeId c : machines) Send(c, cached);
 }
 
@@ -1043,7 +1045,7 @@ bool OrderingNode::VerifyTransferredEntry(
 
 bool OrderingNode::InstallTransferredBlock(const StateReplyMsg::Entry& e) {
   for (const Transaction& tx : e.block->txs) {
-    committed_requests_.insert({tx.client, tx.client_ts});
+    committed_requests_.Put({tx.client, tx.client_ts}, 0);
   }
   auto& st = state_[e.alpha.collection];
   st = std::max(st, e.alpha.n);

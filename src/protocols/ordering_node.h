@@ -15,6 +15,8 @@
 #include "firewall/executor_core.h"
 #include "protocols/context.h"
 #include "protocols/cross_messages.h"
+#include "common/flat_map.h"
+#include "protocols/request_table.h"
 #include "sim/network.h"
 
 namespace qanaat {
@@ -279,8 +281,8 @@ class OrderingNode : public Actor {
   ExecutorCore exec_;
 
   Batcher<Transaction, FlowKey> batcher_;
-  std::map<CollectionId, SeqNo> state_;  // committed state (γ capture)
-  std::map<CollectionId, SeqNo> next_seq_;
+  FlatMap<CollectionId, SeqNo> state_;  // committed state (γ capture)
+  FlatMap<CollectionId, SeqNo> next_seq_;
   // Validated slot claims on incoming cross-cluster IDs: which block
   // digest this node endorsed for each (chain, n). Re-votes for the same
   // digest are idempotent; a different digest claiming the same slot is
@@ -305,13 +307,6 @@ class OrderingNode : public Actor {
       return static_cast<size_t>(d.Prefix64());
     }
   };
-  struct RequestIdHash {
-    size_t operator()(const RequestId& id) const {
-      return static_cast<size_t>(
-          Mix64((static_cast<uint64_t>(id.first) << 32) ^
-                (id.second + 0x9e3779b97f4a7c15ULL)));
-    }
-  };
   // Requests this node itself admitted to its batcher (primary intake
   // dedup), with the admission time. An intake entry EXPIRES
   // (SeenRecently) with the same window as observation dedup: a
@@ -320,7 +315,7 @@ class OrderingNode : public Actor {
   // retransmission to the same primary, instead of only via another node
   // taking over leadership. Expired entries are purged periodically so
   // the map is bounded by the intake rate times the window.
-  std::unordered_map<RequestId, SimTime, RequestIdHash> seen_requests_;
+  RequestTable seen_requests_;
   // ...and requests observed in someone else's proposal, promise, fill
   // or a delivered block, with the observation time. Kept separate: a
   // batch is filtered against observations at close, which drops a
@@ -330,11 +325,10 @@ class OrderingNode : public Actor {
   // proposal was abandoned (e.g. no-op-filled by a view change before
   // preparing) can be retried by client retransmission instead of being
   // blacklisted forever; committed_requests_ is the permanent record.
-  std::unordered_map<RequestId, SimTime, RequestIdHash> observed_requests_;
-  std::unordered_set<RequestId, RequestIdHash> committed_requests_;
-  using DedupMap = std::unordered_map<RequestId, SimTime, RequestIdHash>;
+  RequestTable observed_requests_;
+  RequestTable committed_requests_;
   /// The one shared expiry predicate both dedup maps use.
-  bool RecentlyIn(const DedupMap& m, const RequestId& id) const;
+  bool RecentlyIn(const RequestTable& m, const RequestId& id) const;
   bool ObservedRecently(const RequestId& id) const;
   /// Committed, recently admitted here, or recently observed in a
   /// proposal — the per-request intake (and watchdog) dedup predicate.
@@ -357,13 +351,20 @@ class OrderingNode : public Actor {
     int tries = 0;
     uint64_t delivered_at_arm = 0;
   };
-  std::map<uint64_t, ProgressCheck> progress_checks_;
+  /// Sequential tokens need a mixing hash; looked up per watchdog
+  /// firing, never iterated.
+  struct TokenHash {
+    size_t operator()(uint64_t t) const {
+      return static_cast<size_t>(Mix64(t + 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  std::unordered_map<uint64_t, ProgressCheck, TokenHash> progress_checks_;
   uint64_t next_progress_ = 0;
   std::unordered_map<Sha256Digest, XState, DigestHash> xstates_;
-  std::map<uint64_t, Sha256Digest> cross_timer_digest_;
+  std::unordered_map<uint64_t, Sha256Digest, TokenHash> cross_timer_digest_;
   uint64_t next_cross_timer_ = 0;
   // Blocks whose client replies this cluster owns (initiator side).
-  std::set<Sha256Digest> reply_owner_;
+  std::unordered_set<Sha256Digest, DigestHash> reply_owner_;
   // Reply cache for retransmissions: block digest -> cert msg.
   std::map<Sha256Digest, std::shared_ptr<const ReplyCertMsg>> reply_cache_;
   // Serialization of conflicting cross-shard blocks (paper §4.3.2: no two

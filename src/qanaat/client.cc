@@ -32,7 +32,7 @@ void ClientMachine::OnTimer(uint64_t tag, uint64_t payload) {
   }
   if (tag == kTagRetransmit) {
     auto it = pending_.find(payload);
-    if (it == pending_.end() || it->second.done) return;
+    if (it == pending_.end()) return;  // settled (erased) meanwhile
     // §4.3.4: multicast the request to all nodes of the target cluster.
     auto req = std::make_shared<RequestMsg>(*it->second.request);
     req->is_retransmission = true;
@@ -67,8 +67,7 @@ void ClientMachine::IssueNext() {
 void ClientMachine::Settle(uint64_t ts, bool matching_rule_met) {
   if (!matching_rule_met) return;
   auto it = pending_.find(ts);
-  if (it == pending_.end() || it->second.done) return;
-  it->second.done = true;
+  if (it == pending_.end()) return;  // already settled
   accepted_++;
   SimTime lat = now() - it->second.sent_at;
   // Throughput is counted by completion time (settles per second of the
@@ -78,7 +77,7 @@ void ClientMachine::Settle(uint64_t ts, bool matching_rule_met) {
     measured_commits_++;
     latencies_.Add(lat);
   }
-  reply_votes_.erase(ts);
+  pending_.erase(it);
 }
 
 void ClientMachine::HandleReply(NodeId /*from*/, const ReplyMsg& m) {
@@ -95,14 +94,22 @@ void ClientMachine::HandleReply(NodeId /*from*/, const ReplyMsg& m) {
   for (const auto& [client, ts] : m.clients) {
     if (client != id()) continue;
     auto it = pending_.find(ts);
-    if (it == pending_.end() || it->second.done) continue;
+    if (it == pending_.end()) continue;  // settled already
     if (needed == 1) {
       Settle(ts, true);
       continue;
     }
-    auto& votes = reply_votes_[ts][m.result_digest.Prefix64()];
-    votes.insert(m.sig.signer);
-    if (votes.size() >= needed) Settle(ts, true);
+    uint64_t result = m.result_digest.Prefix64();
+    auto& votes = it->second.votes;
+    bool dup = false;
+    size_t matching = 1;  // this reply
+    for (const auto& [r, signer] : votes) {
+      if (signer == m.sig.signer && r == result) dup = true;
+      if (r == result) ++matching;
+    }
+    if (dup) continue;
+    votes.emplace_back(result, m.sig.signer);
+    if (matching >= needed) Settle(ts, true);
   }
 }
 

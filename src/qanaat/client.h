@@ -58,11 +58,12 @@ class ClientMachine : public Actor {
   struct PendingTx {
     SimTime sent_at = 0;
     int target_cluster = 0;
-    int reply_count = 0;  // matching replies so far (Byzantine rule)
-    Sha256Digest result_digest;
-    bool have_result = false;
     std::shared_ptr<RequestMsg> request;  // kept for retransmission
-    bool done = false;
+    // Byzantine (no firewall) acceptance rule: one (result prefix,
+    // replier) record per reply; settle once `needed` distinct repliers
+    // agree on one result. Replies per tx are bounded by cluster size,
+    // so a flat vector beats the map<result, set<node>> it replaced.
+    std::vector<std::pair<uint64_t, NodeId>> votes;
   };
 
   static constexpr uint64_t kTagIssue = 1;
@@ -90,9 +91,10 @@ class ClientMachine : public Actor {
       return static_cast<size_t>(Mix64(ts + 0x9e3779b97f4a7c15ULL));
     }
   };
+  // Settled entries are erased (late replies and retransmit timers treat
+  // "missing" exactly like the old done flag), so the table tracks only
+  // in-flight transactions.
   std::unordered_map<uint64_t, PendingTx, TsHash> pending_;
-  // Byzantine (no firewall) rule: per tx, distinct repliers per result.
-  std::map<uint64_t, std::map<uint64_t, std::set<NodeId>>> reply_votes_;
 
   uint64_t issued_ = 0;
   uint64_t accepted_ = 0;

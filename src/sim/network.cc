@@ -16,7 +16,19 @@ Network::Network(Env* env) : env_(env), rng_(env->rng.Fork()) {
   env_->net = this;
   rtt_.push_back({0});  // region 0, zero self-RTT
   RebuildOneWayCache();
-  last_arrival_.reserve(1024);
+}
+
+void Network::GrowArrivalMatrix(size_t need) {
+  size_t dim = arrival_dim_ == 0 ? 64 : arrival_dim_;
+  while (dim < need) dim *= 2;
+  std::vector<SimTime> fresh(dim * dim, kNoArrival);
+  for (size_t f = 0; f < arrival_dim_; ++f) {
+    for (size_t t = 0; t < arrival_dim_; ++t) {
+      fresh[f * dim + t] = last_arrival_[f * arrival_dim_ + t];
+    }
+  }
+  last_arrival_.swap(fresh);
+  arrival_dim_ = dim;
 }
 
 int Network::AddRegion() {
@@ -124,17 +136,19 @@ std::vector<std::pair<NodeId, NodeId>> Network::delivered_links() const {
 
 void Network::ScheduleDelivery(NodeId from, NodeId to, SimTime arrival,
                                MessageRef msg) {
-  uint64_t link = LinkKey(from, to);
-  auto [it, inserted] = last_arrival_.emplace(link, arrival);
-  if (!inserted) {
-    if (arrival < it->second) {
+  SimTime* cell = ArrivalCell(from, to);
+  if (*cell != kNoArrival) {
+    if (arrival < *cell) {
       // This later-sent message overtakes an earlier one on the link.
       ++reordered_;
       env_->metrics.Inc("net.reordered");
+    } else {
+      *cell = arrival;
     }
-    it->second = std::max(it->second, arrival);
+  } else {
+    *cell = arrival;
   }
-  if (record_links_) delivered_links_.insert(link);
+  if (record_links_) delivered_links_.insert(LinkKey(from, to));
   NoteTraceEvent((static_cast<uint64_t>(arrival) << 16) ^
                  (static_cast<uint64_t>(from) << 40) ^
                  (static_cast<uint64_t>(to) << 8) ^

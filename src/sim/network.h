@@ -174,7 +174,19 @@ class Network {
   bool record_links_ = false;
   std::unordered_set<uint64_t, LinkKeyHash> delivered_links_;
   // Latest scheduled arrival per directed link, for overtake detection.
-  std::unordered_map<uint64_t, SimTime, LinkKeyHash> last_arrival_;
+  // Dense node x node matrix (kNoArrival = never used): consulted on
+  // every delivery, where even a flat hash map paid a mix + probe per
+  // message. Rebuilt lazily when registrations outgrow it; node counts
+  // are topology-sized, so the matrix stays a few hundred KB.
+  static constexpr SimTime kNoArrival = -1;
+  std::vector<SimTime> last_arrival_;
+  size_t arrival_dim_ = 0;
+  SimTime* ArrivalCell(NodeId from, NodeId to) {
+    size_t need = static_cast<size_t>(from < to ? to : from) + 1;
+    if (need > arrival_dim_) GrowArrivalMatrix(need);
+    return &last_arrival_[static_cast<size_t>(from) * arrival_dim_ + to];
+  }
+  void GrowArrivalMatrix(size_t need);
   uint64_t trace_hash_ = 0x51ed270b9f652295ULL;
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;

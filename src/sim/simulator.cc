@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <chrono>
+#include <limits>
 
 #include "sim/network.h"
 
@@ -41,16 +42,65 @@ void Simulator::Execute(Event& ev) {
   }
 }
 
-uint64_t Simulator::Run(SimTime until) {
-  auto wall0 = std::chrono::steady_clock::now();
+uint64_t Simulator::RunLoop(SimTime until) {
   uint64_t executed = 0;
   Event ev;
-  while (!heap_.empty() && heap_.front().time <= until) {
-    // Pop before executing: the event may schedule new events.
-    now_ = PopInto(ev);
-    Execute(ev);
+  for (;;) {
+    // Merge point of the two event stores: the 4-ary heap (messages,
+    // closures, spilled far timers) and the timer wheel. Both order by
+    // the same global (time, seq) key, so picking the lexicographic
+    // smaller each iteration reproduces the all-heap execution order
+    // bit for bit.
+    SimTime tw;
+    uint64_t sw;
+    bool have_wheel = wheel_.Min(now_, &tw, &sw);
+    bool have_heap = !heap_.empty();
+    if (!have_wheel && !have_heap) break;
+    bool use_wheel =
+        have_wheel &&
+        (!have_heap || tw < heap_.front().time ||
+         (tw == heap_.front().time && sw < heap_.front().seq));
+    SimTime t = use_wheel ? tw : heap_.front().time;
+    if (t > until) break;
+    if (use_wheel) {
+      now_ = t;
+      TimerWheel::Entry e = wheel_.Pop(now_);
+      switch (e.kind) {
+        case TimerWheel::Kind::kTimer:
+          // Epoch guard: timers armed before a crash die with that life.
+          if (!e.actor->crashed() && e.actor->epoch() == e.epoch) {
+            e.actor->OnTimer(e.a, e.b);
+          }
+          break;
+        case TimerWheel::Kind::kDeliver:
+          // A message addressed to a previous life of the node (it
+          // crashed while this was in flight) is lost with the process.
+          if (e.actor->epoch() == e.epoch) {
+            e.actor->DeliverAt(static_cast<SimTime>(e.a),
+                               static_cast<NodeId>(e.b), std::move(e.msg));
+          }
+          break;
+        case TimerWheel::Kind::kHandle:
+          // Work accepted before a crash must not complete in a
+          // recovered life.
+          if (!e.actor->crashed() && e.actor->epoch() == e.epoch) {
+            e.actor->OnMessage(static_cast<NodeId>(e.b), e.msg);
+          }
+          break;
+      }
+    } else {
+      // Pop before executing: the event may schedule new events.
+      now_ = PopInto(ev);
+      Execute(ev);
+    }
     ++executed;
   }
+  return executed;
+}
+
+uint64_t Simulator::Run(SimTime until) {
+  auto wall0 = std::chrono::steady_clock::now();
+  uint64_t executed = RunLoop(until);
   if (now_ < until) now_ = until;
   events_executed_ += executed;
   wall_seconds_ +=
@@ -61,13 +111,7 @@ uint64_t Simulator::Run(SimTime until) {
 
 uint64_t Simulator::RunAll() {
   auto wall0 = std::chrono::steady_clock::now();
-  uint64_t executed = 0;
-  Event ev;
-  while (!heap_.empty()) {
-    now_ = PopInto(ev);
-    Execute(ev);
-    ++executed;
-  }
+  uint64_t executed = RunLoop(std::numeric_limits<SimTime>::max());
   events_executed_ += executed;
   wall_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)

@@ -7,6 +7,7 @@
 
 #include "common/types.h"
 #include "sim/message.h"
+#include "sim/timer_wheel.h"
 
 namespace qanaat {
 
@@ -61,40 +62,84 @@ class Simulator {
   /// dropped if the actor's crash epoch advanced past `epoch` meanwhile.
   void ScheduleDeliver(SimTime when, Actor* actor, uint64_t epoch,
                        NodeId from, MessageRef msg) {
-    Event ev;
-    ev.kind = Kind::kDeliver;
-    ev.actor = actor;
-    ev.epoch = epoch;
-    ev.a = static_cast<uint64_t>(when);  // arrival == scheduled time
-    ev.b = from;
-    ev.msg = std::move(msg);
-    Push(when, ev);
+    if (when < now_) when = now_;
+    if (when - now_ >= TimerWheel::kHorizon) {
+      Event ev;
+      ev.kind = Kind::kDeliver;
+      ev.actor = actor;
+      ev.epoch = epoch;
+      ev.a = static_cast<uint64_t>(when);  // arrival == scheduled time
+      ev.b = from;
+      ev.msg = std::move(msg);
+      Push(when, ev);
+      return;
+    }
+    TimerWheel::Entry e;
+    e.when = when;
+    e.seq = next_seq_++;
+    e.actor = actor;
+    e.epoch = epoch;
+    e.a = static_cast<uint64_t>(when);
+    e.b = from;
+    e.msg = std::move(msg);
+    e.kind = TimerWheel::Kind::kDeliver;
+    wheel_.Insert(now_, std::move(e));
   }
 
   /// Tagged event: `actor->OnMessage(from, msg)` at `when` (CPU
   /// processing completes), unless crashed or from a previous life.
   void ScheduleHandle(SimTime when, Actor* actor, uint64_t epoch,
                       NodeId from, MessageRef msg) {
-    Event ev;
-    ev.kind = Kind::kHandle;
-    ev.actor = actor;
-    ev.epoch = epoch;
-    ev.b = from;
-    ev.msg = std::move(msg);
-    Push(when, ev);
+    if (when < now_) when = now_;
+    if (when - now_ >= TimerWheel::kHorizon) {
+      Event ev;
+      ev.kind = Kind::kHandle;
+      ev.actor = actor;
+      ev.epoch = epoch;
+      ev.b = from;
+      ev.msg = std::move(msg);
+      Push(when, ev);
+      return;
+    }
+    TimerWheel::Entry e;
+    e.when = when;
+    e.seq = next_seq_++;
+    e.actor = actor;
+    e.epoch = epoch;
+    e.b = from;
+    e.msg = std::move(msg);
+    e.kind = TimerWheel::Kind::kHandle;
+    wheel_.Insert(now_, std::move(e));
   }
 
   /// Tagged event: `actor->OnTimer(tag, payload)` at `when`, unless
-  /// crashed or armed in a previous life.
+  /// crashed or armed in a previous life. Tagged events within the
+  /// wheel's ~16.7-second horizon take the O(1) hierarchical-wheel path;
+  /// the rare far-future ones spill to the 4-ary heap. Both draw from
+  /// the same global sequence counter, so the merged execution order is
+  /// (time, seq)-identical to the all-heap implementation.
   void ScheduleTimer(SimTime when, Actor* actor, uint64_t epoch,
                      uint64_t tag, uint64_t payload) {
-    Event ev;
-    ev.kind = Kind::kTimer;
-    ev.actor = actor;
-    ev.epoch = epoch;
-    ev.a = tag;
-    ev.b = payload;
-    Push(when, ev);
+    if (when < now_) when = now_;
+    if (when - now_ >= TimerWheel::kHorizon) {
+      Event ev;
+      ev.kind = Kind::kTimer;
+      ev.actor = actor;
+      ev.epoch = epoch;
+      ev.a = tag;
+      ev.b = payload;
+      Push(when, ev);
+      return;
+    }
+    TimerWheel::Entry e;
+    e.when = when;
+    e.seq = next_seq_++;
+    e.actor = actor;
+    e.epoch = epoch;
+    e.a = tag;
+    e.b = payload;
+    e.kind = TimerWheel::Kind::kTimer;
+    wheel_.Insert(now_, std::move(e));
   }
 
   /// Run until the queue drains or simulated time exceeds `until`.
@@ -104,7 +149,7 @@ class Simulator {
   /// Run until the queue is fully drained.
   uint64_t RunAll();
 
-  size_t pending() const { return heap_.size(); }
+  size_t pending() const { return heap_.size() + wheel_.size(); }
 
   /// Total events executed since construction, and the wall-clock meter
   /// over time spent inside Run/RunAll — the sim-core throughput gauge
@@ -225,9 +270,14 @@ class Simulator {
   }
 
   void Execute(Event& ev);
+  /// Shared Run/RunAll core: pops the (time, seq)-smallest of the heap
+  /// top and the wheel min until both drain or the next event is past
+  /// `until`.
+  uint64_t RunLoop(SimTime until);
 
   SimTime now_;
   uint64_t next_seq_;
+  TimerWheel wheel_;                   // near-horizon actor timers
   std::vector<HeapEntry> heap_;        // 4-ary min-heap on (time, seq)
   std::vector<Event> pool_;            // slot storage for queued events
   std::vector<uint32_t> free_slots_;

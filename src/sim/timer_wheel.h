@@ -1,0 +1,158 @@
+#ifndef QANAAT_SIM_TIMER_WHEEL_H_
+#define QANAAT_SIM_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace qanaat {
+
+class Actor;
+
+/// Hierarchical timing wheel for the simulator's tagged events — actor
+/// timers (the dominant schedule churn: engine slot watchdogs, batcher
+/// deadlines, fill/checkpoint timers) plus message delivery and handler
+/// completion, whose horizons are transport latencies and CPU queues.
+/// Insertion is O(1) — bucket index arithmetic plus a push_back — where
+/// the binary heap paid O(log n) sift cost per event against a heap full
+/// of long-lived timers that mostly never fire.
+///
+/// Three levels of 256 slots cover deltas up to ~16.7 simulated seconds
+/// (1 µs, 256 µs and 65536 µs of span per slot respectively); the
+/// Simulator spills rarer far-future events to its 4-ary heap.
+///
+/// Determinism contract: the wheel pops entries in exactly the global
+/// (time, seq) order the heap would have used — Min() reports the
+/// lexicographically smallest (when, seq) so the Simulator can merge
+/// wheel events against heap events tie-break-identically, keeping every
+/// golden per-seed trace hash unchanged.
+///
+/// Level-l slots are unambiguous time buckets because all pending
+/// entries satisfy now <= when < now + 256^(l+1): an entry is placed at
+/// the smallest level whose window covers its delta, and `now` only
+/// advances past an entry by popping it. Within a level the circular
+/// slot scan from slot(now) visits windows in increasing start order;
+/// only slot(now) itself can hold two laps (its window is split by
+/// `now`), which Min() handles by considering it separately.
+class TimerWheel {
+ public:
+  enum class Kind : uint8_t { kTimer = 0, kDeliver, kHandle };
+
+  /// Field use per kind:
+  ///   kTimer   — a = tag, b = payload;
+  ///   kDeliver — a = arrival time, b = sender, msg;
+  ///   kHandle  — b = sender, msg.
+  struct Entry {
+    SimTime when = 0;
+    uint64_t seq = 0;
+    Actor* actor = nullptr;
+    uint64_t epoch = 0;
+    uint64_t a = 0;
+    uint64_t b = 0;
+    MessageRef msg;
+    Kind kind = Kind::kTimer;
+  };
+
+  static constexpr int kLevels = 3;
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;
+  /// Deltas at or beyond this must go to the overflow heap.
+  static constexpr SimTime kHorizon = SimTime{1}
+                                      << (kSlotBits * kLevels);  // ~16.7 s
+
+  TimerWheel()
+      : slots_(kLevels * kSlots), slot_min_(kLevels * kSlots) {}
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+
+  /// Inserts an entry with now <= e.when < now + kHorizon. `e.seq` must
+  /// exceed every previously issued sequence number (the Simulator's
+  /// global counter guarantees it).
+  void Insert(SimTime now, Entry e) {
+    if (cache_valid_ && e.when < cache_when_) cache_valid_ = false;
+    Place(e.when - now, std::move(e));
+    ++count_;
+  }
+
+  /// Earliest pending (when, seq); false when empty. `now` is the
+  /// simulator clock (no pending entry is earlier than it).
+  bool Min(SimTime now, SimTime* when, uint64_t* seq);
+
+  /// Removes and returns the entry Min() reported. Requires a prior
+  /// successful Min() with the same `now` (== the popped entry's time in
+  /// the caller's merge loop, so cascades re-anchor windows correctly).
+  Entry Pop(SimTime now);
+
+ private:
+  static constexpr int kBucketLevel = -1;
+
+  std::vector<Entry>& Slot(int level, int idx) {
+    return slots_[(level << kSlotBits) + idx];
+  }
+
+  void Place(SimTime delta, Entry e) {
+    int level = delta < (SimTime{1} << kSlotBits)
+                    ? 0
+                    : delta < (SimTime{1} << (2 * kSlotBits)) ? 1 : 2;
+    int idx =
+        static_cast<int>(e.when >> (kSlotBits * level)) & (kSlots - 1);
+    std::vector<Entry>& v = Slot(level, idx);
+    // Per-slot min, kept O(1): entries only ever leave a slot via a
+    // whole-slot drain or cascade, so the min never needs a rescan.
+    SlotMinKey& m = slot_min_[(level << kSlotBits) + idx];
+    if (v.empty() || e.when < m.when ||
+        (e.when == m.when && e.seq < m.seq)) {
+      m.when = e.when;
+      m.seq = e.seq;
+    }
+    v.push_back(std::move(e));
+    bits_[level][idx >> 6] |= uint64_t{1} << (idx & 63);
+    ++level_count_[level];
+  }
+
+  /// First occupied slot of `level` in circular order from `start`;
+  /// -1 when the level is empty.
+  int ScanFrom(int level, int start) const;
+
+  /// Moves a due level-0 slot (single tick) into the drain bucket,
+  /// merging behind any still-pending same-tick entries.
+  void DrainLevel0(int idx);
+
+  /// Redistributes a level>=1 slot downward, re-anchored at `now` (the
+  /// slot's min entry time, which the caller is about to pop).
+  void Cascade(int level, int idx, SimTime now);
+
+  struct SlotMinKey {
+    SimTime when = 0;
+    uint64_t seq = 0;
+  };
+
+  std::vector<std::vector<Entry>> slots_;
+  std::vector<SlotMinKey> slot_min_;  // valid while the slot is occupied
+  uint64_t bits_[kLevels][kSlots / 64] = {};
+  int level_count_[kLevels] = {};  // entries per level: empty-level skip
+  size_t count_ = 0;
+
+  // Due entries for one tick, sorted by seq, consumed via bucket_pos_.
+  std::vector<Entry> bucket_;
+  size_t bucket_pos_ = 0;
+  SimTime bucket_time_ = 0;
+
+  // Cached global-min location; invalidated by pops, cascades and
+  // earlier-time inserts (later inserts always carry larger seq).
+  bool cache_valid_ = false;
+  SimTime cache_when_ = 0;
+  uint64_t cache_seq_ = 0;
+  int cache_level_ = kBucketLevel;
+  int cache_slot_ = 0;
+
+  std::vector<Entry> scratch_;  // cascade staging, capacity recycled
+};
+
+}  // namespace qanaat
+
+#endif  // QANAAT_SIM_TIMER_WHEEL_H_

@@ -120,12 +120,28 @@ TEST(ChaosGolden, TraceHashesMatchPinnedSchedules) {
     uint64_t seed;
     uint64_t trace_hash;
   };
+  // Expanded to 5 seeds x 3 stacks by the protocol hot-path overhaul
+  // (timer wheel, Paxos slot flattening, signable memoization). Every
+  // value below was captured on the tree BEFORE that overhaul — the PR's
+  // explicit acceptance bar is that pure performance work changes no
+  // schedule, so these pins must NOT be re-pinned by perf refactors; a
+  // mismatch means the optimization changed observable behavior.
   static const Golden kGolden[] = {
       {ChaosStack::kQanaatPbft, 2u, 0x1bd5d9bca2dc5812ULL},
+      {ChaosStack::kQanaatPbft, 3u, 0x3ad64cb4913d0fbaULL},
+      {ChaosStack::kQanaatPbft, 5u, 0x99461da27152e089ULL},
       {ChaosStack::kQanaatPbft, 7u, 0x4d96d1d5d0b898c2ULL},
+      {ChaosStack::kQanaatPbft, 12u, 0x50e641846f04ea9bULL},
+      {ChaosStack::kQanaatPaxos, 2u, 0xc54dd8e4a06eb331ULL},
       {ChaosStack::kQanaatPaxos, 3u, 0x8ed60dd43958d2deULL},
+      {ChaosStack::kQanaatPaxos, 5u, 0x4064fcbc63679f91ULL},
+      {ChaosStack::kQanaatPaxos, 7u, 0xe70a9f446b8e42e1ULL},
       {ChaosStack::kQanaatPaxos, 12u, 0x998c78bd9ac56015ULL},
+      {ChaosStack::kFabric, 2u, 0x967a5df6743242b0ULL},
+      {ChaosStack::kFabric, 3u, 0x70b03581c3ee88beULL},
       {ChaosStack::kFabric, 5u, 0xebc0767ebf79ecc1ULL},
+      {ChaosStack::kFabric, 7u, 0x9c004389bab0a364ULL},
+      {ChaosStack::kFabric, 12u, 0x1cb437fd7f974f07ULL},
   };
   for (const Golden& g : kGolden) {
     ChaosReport r = RunChaos(CorpusOptions(g.stack, g.seed));

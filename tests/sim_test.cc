@@ -460,6 +460,94 @@ TEST(NetworkTest, LinkFaultDropIsPerLink) {
   EXPECT_EQ(c.received, 1);  // other links unaffected
 }
 
+// ------------------------------------------- hierarchical timer wheel
+
+TEST(TimerWheelTest, SameTickOrderAcrossWheelHeapSpillBoundary) {
+  // A timer beyond the wheel horizon spills to the 4-ary heap; a timer
+  // armed later for the SAME tick lands in the wheel. The merge loop
+  // must still fire them in global arming (seq) order, and closures
+  // scheduled for that tick interleave by seq too.
+  NetFixture f;
+  TimerActor t(&f.env);
+  const SimTime kTick = TimerWheel::kHorizon + 100;
+  t.Arm(kTick, 1, 100);               // beyond horizon: heap spill
+  std::vector<int> closure_pos;
+  f.env.sim.Schedule(TimerWheel::kHorizon, [] {});  // advance the clock
+  f.env.sim.Run(TimerWheel::kHorizon);
+  t.Arm(100, 1, 200);                 // same tick, now within the wheel
+  f.env.sim.ScheduleAt(kTick, [&] {
+    closure_pos.push_back(static_cast<int>(t.fired.size()));
+  });
+  t.Arm(100, 1, 300);                 // armed after the closure
+  f.env.sim.RunAll();
+  ASSERT_EQ(t.fired.size(), 3u);
+  EXPECT_EQ(t.fired[0].second, 100u);  // heap-spilled timer first (seq)
+  EXPECT_EQ(t.fired[1].second, 200u);
+  EXPECT_EQ(t.fired[2].second, 300u);
+  // The closure was scheduled between the 200 and 300 arms: it must run
+  // after two timers fired and before the third.
+  ASSERT_EQ(closure_pos.size(), 1u);
+  EXPECT_EQ(closure_pos[0], 2);
+}
+
+TEST(TimerWheelTest, SameTickMergesAcrossWheelLevels) {
+  // Entries for one tick can sit at different wheel levels depending on
+  // how far ahead they were armed (level 2 for a 70 ms delta, level 1
+  // for 1 ms, level 0 for 100 us). The drain must merge them back into
+  // exact arming order.
+  NetFixture f;
+  TimerActor t(&f.env);
+  const SimTime kTick = 70000;
+  t.Arm(kTick, 1, 1);  // delta 70000 -> level 2
+  f.env.sim.Schedule(kTick - 1000, [] {});
+  f.env.sim.Run(kTick - 1000);
+  t.Arm(1000, 1, 2);   // same tick, delta 1000 -> level 1
+  f.env.sim.Schedule(900, [] {});
+  f.env.sim.Run(kTick - 100);
+  t.Arm(100, 1, 3);    // same tick, delta 100 -> level 0
+  f.env.sim.RunAll();
+  ASSERT_EQ(t.fired.size(), 3u);
+  EXPECT_EQ(t.fired[0].second, 1u);
+  EXPECT_EQ(t.fired[1].second, 2u);
+  EXPECT_EQ(t.fired[2].second, 3u);
+}
+
+TEST(TimerWheelTest, CancelledEpochTimersDieAndSlotsAreReusable) {
+  // Crash-epoch "cancellation": timers armed before a crash must not
+  // fire after recovery, and re-arming onto the same wheel tick (the
+  // freed slot) must fire the new-life timers in their own arming order.
+  NetFixture f;
+  TimerActor t(&f.env);
+  for (uint64_t i = 0; i < 4; ++i) t.Arm(500, 1, i);  // old life
+  t.Crash();
+  t.Recover();
+  for (uint64_t i = 10; i < 14; ++i) t.Arm(500, 1, i);  // new life
+  f.env.sim.RunAll();
+  ASSERT_EQ(t.fired.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(t.fired[i].second, 10 + i);
+  // The tick's wheel slot was fully consumed; a later tick mapping to
+  // the same level-0 slot index (time + 256) is independent.
+  t.Arm(256, 1, 99);
+  f.env.sim.RunAll();
+  ASSERT_EQ(t.fired.size(), 5u);
+  EXPECT_EQ(t.fired[4].second, 99u);
+}
+
+TEST(TimerWheelTest, MessageDeliveriesRideTheWheelDeterministically) {
+  // Deliveries and handler completions ride the wheel too; two runs of
+  // the same seed must stay bit-identical (trace hash covers arrival
+  // times and endpoints).
+  auto run = [](uint64_t seed) {
+    Env env(seed);
+    Network net(&env);
+    EchoActor a(&env, 0), b(&env, 0);
+    for (int i = 0; i < 64; ++i) net.Send(a.id(), b.id(), MakeMsg());
+    env.sim.RunAll();
+    return net.trace_hash();
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
 TEST(NetworkTest, TraceHashIsDeterministicPerSeed) {
   auto run = [](uint64_t seed) {
     Env env(seed);
