@@ -216,6 +216,13 @@ class InternalConsensus {
   /// vote; Paxos performs a ballot takeover. Default: ignore.
   virtual void SuspectPrimary() {}
 
+  /// Byzantine-ordering fault injection: while enabled, a primary engine
+  /// equivocates its proposals (divergent digests to disjoint replica
+  /// subsets). Only meaningful for Byzantine-model engines; crash-model
+  /// engines ignore it (an equivocating node is outside their fault
+  /// model, exactly like the paper's assumption).
+  virtual void SetEquivocate(bool /*on*/) {}
+
   virtual bool IsPrimary() const = 0;
   virtual NodeId PrimaryNode() const = 0;
   virtual ViewNo view() const = 0;

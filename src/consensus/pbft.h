@@ -62,7 +62,7 @@ class PbftEngine : public InternalConsensus {
   /// Byzantine-primary fault injection: when set, PRE-PREPAREs are
   /// equivocated (different digests to different replicas), which correct
   /// replicas must resolve via view change.
-  void SetEquivocate(bool e) { equivocate_ = e; }
+  void SetEquivocate(bool e) override { equivocate_ = e; }
 
   bool HasSlotState(uint64_t slot) const override {
     return slots_.count(slot) > 0;

@@ -204,6 +204,51 @@ Status SafetyAuditor::AuditFabric(FabricSystem& sys) {
 
 namespace {
 
+/// Fills in stack-appropriate defaults for a staged adversary: which
+/// message types a selective-silence link swallows, and which adversaries
+/// are meaningful on the stack at all (equivocation needs a Byzantine
+/// engine; Fabric's pinned Raft leader only supports gray failure).
+ChaosProfile ResolveAdversary(const ChaosOptions& opts) {
+  ChaosProfile p = opts.profile;
+  if (p.adversary == AdversaryKind::kNone) return p;
+  const bool pbft = opts.stack == ChaosStack::kQanaatPbft;
+  if (opts.stack == ChaosStack::kFabric &&
+      p.adversary != AdversaryKind::kGrayFailure) {
+    p.adversary = AdversaryKind::kNone;
+    return p;
+  }
+  if (p.adversary == AdversaryKind::kEquivocation && !pbft) {
+    // A crash-model cluster assumes no Byzantine nodes (paper §3.2); an
+    // equivocation run on Paxos would test an excluded fault class.
+    p.adversary = AdversaryKind::kNone;
+    return p;
+  }
+  if (p.adversary == AdversaryKind::kSelectiveSilence &&
+      p.silence_types == 0) {
+    using LF = Network::LinkFault;
+    // Masks must name traffic that actually FLOWS on the target's links,
+    // or the rules never bite (checkpoint votes come once per interval;
+    // view changes only exist once something is already wrong). PBFT:
+    // swallow the primary's PRE-PREPAREs — the cluster must view-change
+    // past a link-mute primary — plus the view-change/new-view and
+    // checkpoint traffic toward the target, so it sits out the election
+    // and recovers via the (unsilenced) fill/state-transfer path. Paxos:
+    // swallow the leader's LEARNs and the fill traffic inside the window
+    // — peers stall on chosen-value notifications and must catch up once
+    // the window closes.
+    p.silence_types =
+        pbft ? LF::TypeBit(MsgType::kPrePrepare) |
+                   LF::TypeBit(MsgType::kViewChange) |
+                   LF::TypeBit(MsgType::kNewView) |
+                   LF::TypeBit(MsgType::kCheckpoint)
+             : LF::TypeBit(MsgType::kPaxosLearn) |
+                   LF::TypeBit(MsgType::kCheckpoint) |
+                   LF::TypeBit(MsgType::kFillRequest) |
+                   LF::TypeBit(MsgType::kFillReply);
+  }
+  return p;
+}
+
 ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
   QanaatSystem::Options so;
   so.params.num_enterprises = opts.enterprises;
@@ -247,15 +292,18 @@ ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
   // view changes / ballot takeovers hand leadership over, and the
   // recovered primary converges back via state transfer.
   std::vector<CrashGroup> groups;
+  AdversaryTargets targets;
   for (int c = 0; c < sys.cluster_count(); ++c) {
     const ClusterConfig& cc = sys.directory().Cluster(c);
     CrashGroup g;
     g.crashable.assign(cc.ordering.begin(), cc.ordering.end());
     g.max_faulty = sys.directory().params.f;
     groups.push_back(std::move(g));
+    targets.primaries.push_back(cc.InitialPrimary());
   }
+  ChaosProfile profile = ResolveAdversary(opts);
   FaultPlan plan =
-      MakeRandomPlan(opts.seed, groups, opts.heal_at, opts.profile);
+      MakeRandomPlan(opts.seed, groups, opts.heal_at, profile, targets);
 
   ChaosReport rep;
   rep.plan_summary = plan.Summary();
@@ -274,8 +322,21 @@ ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
     }
   };
   sys.env().sim.Schedule(opts.audit_period, audit);
+  // Liveness-resume clock: poll from heal until the first post-heal
+  // settle (10ms granularity). The poll only reads counters, so it never
+  // perturbs the network trace.
+  std::function<void()> resume_poll = [&]() {
+    if (sys.TotalAccepted() > rep.commits_at_heal) {
+      rep.liveness_resume_us = sys.env().sim.now() - opts.heal_at;
+      return;
+    }
+    if (sys.env().sim.now() + 10 * kMillisecond < opts.run_until) {
+      sys.env().sim.Schedule(10 * kMillisecond, resume_poll);
+    }
+  };
   sys.env().sim.ScheduleAt(opts.heal_at + 1, [&]() {
     rep.commits_at_heal = sys.TotalAccepted();
+    resume_poll();
   });
 
   sys.env().sim.Run(opts.run_until);
@@ -301,6 +362,7 @@ ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
   rep.net_duplicated = sys.net().duplicated();
   rep.net_reordered = sys.net().reordered();
   rep.net_dropped = sys.env().metrics.Get("net.dropped");
+  rep.net_silenced = sys.net().silenced();
   return rep;
 }
 
@@ -330,12 +392,19 @@ ChaosReport RunFabricChaos(const ChaosOptions& opts) {
   }
   g.max_faulty = (sys.orderer_count() - 1) / 2;
 
+  // The only stageable adversary on this stack is a gray-failed (slow-
+  // but-alive) leader: leadership is pinned, so equivocation/silence
+  // have no recovery path and are resolved to kNone.
+  ChaosProfile profile = ResolveAdversary(opts);
+  AdversaryTargets targets;
+  targets.primaries.push_back(sys.leader_id());
+
   // Loss is injected network-wide, exactly like the Qanaat stacks: peers
   // now have a block catch-up protocol (gap-triggered + periodic fetch
   // from the ordering service), so a block lost on the wire no longer
   // wedges a peer forever.
   FaultPlan plan =
-      MakeRandomPlan(opts.seed, {g}, opts.heal_at, opts.profile);
+      MakeRandomPlan(opts.seed, {g}, opts.heal_at, profile, targets);
 
   ChaosReport rep;
   rep.plan_summary = plan.Summary();
@@ -354,8 +423,18 @@ ChaosReport RunFabricChaos(const ChaosOptions& opts) {
     }
   };
   sys.env().sim.Schedule(opts.audit_period, audit);
+  std::function<void()> resume_poll = [&]() {
+    if (sys.TotalCommitted() > rep.commits_at_heal) {
+      rep.liveness_resume_us = sys.env().sim.now() - opts.heal_at;
+      return;
+    }
+    if (sys.env().sim.now() + 10 * kMillisecond < opts.run_until) {
+      sys.env().sim.Schedule(10 * kMillisecond, resume_poll);
+    }
+  };
   sys.env().sim.ScheduleAt(opts.heal_at + 1, [&]() {
     rep.commits_at_heal = sys.TotalCommitted();
+    resume_poll();
   });
 
   sys.env().sim.Run(opts.run_until);

@@ -69,12 +69,18 @@ struct ChaosReport {
   uint64_t commits_at_heal = 0;
   /// Commits happened after every fault healed (the liveness criterion).
   bool liveness_resumed = false;
+  /// Microseconds after heal_at until the first post-heal settle was
+  /// observed (10ms polling granularity); -1 = liveness never resumed.
+  /// The liveness *cost* of an adversary shows up here: safety holds for
+  /// free, recovery time does not.
+  SimTime liveness_resume_us = -1;
   /// The final audit also asserted bit-identical ledgers across all
   /// non-degraded replicas (possible only without untargeted loss).
   bool convergence_checked = false;
   uint64_t net_duplicated = 0;
   uint64_t net_reordered = 0;
   uint64_t net_dropped = 0;
+  uint64_t net_silenced = 0;
   std::string plan_summary;
 };
 

@@ -1,0 +1,249 @@
+#include "harness/corpus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace qanaat {
+
+AdversaryKind AdversaryFor(ChaosStack stack, uint64_t seed) {
+  switch (stack) {
+    case ChaosStack::kQanaatPbft:
+      // seed % 4 == 0 are the untargeted-loss runs — keep those benign so
+      // loss and adversaries stay independently attributable.
+      switch (seed % 4) {
+        case 1:
+          return AdversaryKind::kGrayFailure;
+        case 2:
+          return AdversaryKind::kEquivocation;
+        case 3:
+          return AdversaryKind::kSelectiveSilence;
+        default:
+          return AdversaryKind::kNone;
+      }
+    case ChaosStack::kQanaatPaxos:
+      // Crash model: no Byzantine ordering node to equivocate.
+      switch (seed % 4) {
+        case 1:
+          return AdversaryKind::kGrayFailure;
+        case 3:
+          return AdversaryKind::kSelectiveSilence;
+        default:
+          return AdversaryKind::kNone;
+      }
+    case ChaosStack::kFabric:
+      return (seed % 4 == 2) ? AdversaryKind::kGrayFailure
+                             : AdversaryKind::kNone;
+  }
+  return AdversaryKind::kNone;
+}
+
+std::vector<CorpusEntry> CorpusManifest::Enumerate() const {
+  static const ChaosStack kStacks[] = {
+      ChaosStack::kQanaatPbft,
+      ChaosStack::kQanaatPaxos,
+      ChaosStack::kFabric,
+  };
+  std::vector<CorpusEntry> out;
+  out.reserve(static_cast<size_t>(seeds) * 3);
+  for (ChaosStack stack : kStacks) {
+    for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {
+      out.push_back({stack, seed, AdversaryFor(stack, seed)});
+    }
+  }
+  return out;
+}
+
+uint64_t EntryKey(const CorpusEntry& e) {
+  // Identity only — never the manifest position. The adversary is part of
+  // the identity so a rotation change is an explicit re-keying, not a
+  // silent one.
+  uint64_t k = Mix64(e.seed + 0x9e3779b97f4a7c15ULL);
+  k = Mix64(k ^ (static_cast<uint64_t>(e.stack) + 1));
+  k = Mix64(k ^ ((static_cast<uint64_t>(e.adversary) + 1) << 8));
+  return k;
+}
+
+int ShardOf(const CorpusEntry& e, int shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<int>(EntryKey(e) % static_cast<uint64_t>(shard_count));
+}
+
+ChaosOptions EntryOptions(const CorpusEntry& e) {
+  // Mirrors the chaos_test corpus recipe exactly for adversary == kNone;
+  // the pinned ChaosGolden trace hashes guard the equivalence.
+  ChaosOptions o;
+  o.stack = e.stack;
+  o.seed = e.seed;
+  o.family = (e.seed % 2 == 0) ? ProtocolFamily::kCoordinator
+                               : ProtocolFamily::kFlattened;
+  static const CrossKind kKinds[] = {
+      CrossKind::kIntraShardCrossEnterprise,
+      CrossKind::kCrossShardIntraEnterprise,
+      CrossKind::kCrossShardCrossEnterprise,
+  };
+  o.cross_kind = e.stack == ChaosStack::kFabric
+                     ? CrossKind::kIntraShardCrossEnterprise
+                     : kKinds[e.seed % 3];
+  o.cross_fraction = 0.25;
+  o.offered_tps = 300;
+  o.profile.dup = 0.03;
+  o.profile.reorder = 0.05;
+  o.profile.loss = (e.seed % 4 == 0) ? 0.02 : 0.0;
+  o.profile.adversary = e.adversary;
+  return o;
+}
+
+CorpusRunResult RunEntry(const CorpusEntry& e) {
+  CorpusRunResult res;
+  res.entry = e;
+  ChaosReport r = RunChaos(EntryOptions(e));
+  res.report = r;
+
+  std::string why;
+  if (!r.safety.ok()) {
+    why = "safety: " + r.safety.ToString();
+  } else if (r.faults_applied == 0) {
+    why = "no faults applied";
+  } else if (r.net_duplicated + r.net_reordered == 0) {
+    why = "injected dup/reorder never bit";
+  } else if (!r.liveness_resumed) {
+    why = "liveness did not resume after heal (commits " +
+          std::to_string(r.commits_at_heal) + " at heal, " +
+          std::to_string(r.commits_total) + " total)";
+  } else if (r.commits_total <= 100) {
+    why = "commit floor missed (" + std::to_string(r.commits_total) + ")";
+  } else if (EntryOptions(e).profile.loss == 0.0 && !r.convergence_checked) {
+    why = "convergence not checked despite loss-free plan";
+  }
+  res.passed = why.empty();
+  res.failure = why;
+  return res;
+}
+
+const char* StackArgName(ChaosStack s) {
+  switch (s) {
+    case ChaosStack::kQanaatPbft:
+      return "pbft";
+    case ChaosStack::kQanaatPaxos:
+      return "paxos";
+    case ChaosStack::kFabric:
+      return "fabric";
+  }
+  return "?";
+}
+
+bool ParseStack(const std::string& s, ChaosStack* out) {
+  if (s == "pbft") {
+    *out = ChaosStack::kQanaatPbft;
+  } else if (s == "paxos") {
+    *out = ChaosStack::kQanaatPaxos;
+  } else if (s == "fabric") {
+    *out = ChaosStack::kFabric;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseAdversary(const std::string& s, AdversaryKind* out) {
+  if (s == "none") {
+    *out = AdversaryKind::kNone;
+  } else if (s == "gray") {
+    *out = AdversaryKind::kGrayFailure;
+  } else if (s == "equivocation") {
+    *out = AdversaryKind::kEquivocation;
+  } else if (s == "silence") {
+    *out = AdversaryKind::kSelectiveSilence;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string ReproCommand(const CorpusEntry& e) {
+  std::string cmd = "tools/run_corpus --stack=";
+  cmd += StackArgName(e.stack);
+  cmd += " --seed=" + std::to_string(e.seed);
+  cmd += " --adversary=";
+  cmd += AdversaryName(e.adversary);
+  return cmd;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SummaryJson(int shard_index, int shard_count,
+                        const std::vector<CorpusRunResult>& results) {
+  size_t passed = 0;
+  for (const auto& r : results) passed += r.passed ? 1 : 0;
+
+  std::string j = "{\n";
+  j += "  \"shard_index\": " + std::to_string(shard_index) + ",\n";
+  j += "  \"shard_count\": " + std::to_string(shard_count) + ",\n";
+  j += "  \"total\": " + std::to_string(results.size()) + ",\n";
+  j += "  \"passed\": " + std::to_string(passed) + ",\n";
+  j += "  \"failed\": " + std::to_string(results.size() - passed) + ",\n";
+  j += "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "0x%016" PRIx64, r.report.trace_hash);
+    j += "    {\"stack\": \"";
+    j += StackArgName(r.entry.stack);
+    j += "\", \"seed\": " + std::to_string(r.entry.seed);
+    j += ", \"adversary\": \"";
+    j += AdversaryName(r.entry.adversary);
+    j += "\", \"passed\": ";
+    j += r.passed ? "true" : "false";
+    j += ", \"trace_hash\": \"";
+    j += hash;
+    j += "\", \"commits\": " + std::to_string(r.report.commits_total);
+    j += ", \"faults\": " + std::to_string(r.report.faults_applied);
+    j += ", \"silenced\": " + std::to_string(r.report.net_silenced);
+    j += ", \"liveness_resume_us\": " +
+         std::to_string(r.report.liveness_resume_us);
+    if (!r.passed) {
+      j += ", \"violation\": \"" + JsonEscape(r.failure) + "\"";
+      j += ", \"repro\": \"" + JsonEscape(ReproCommand(r.entry)) + "\"";
+    }
+    j += "}";
+    j += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+}  // namespace qanaat

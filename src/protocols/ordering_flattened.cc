@@ -43,6 +43,7 @@ void OrderingNode::StartFlattened(const BlockPtr& block) {
   if (probe.shards.size() > 1) {
     if (HasCrossShardConflict(block, probe.shards)) {
       deferred_cross_.push_back(DeferredCross{block});
+      PinCross(block);
       env()->metrics.Inc("cross.deferred_conflict");
       return;
     }
@@ -55,6 +56,10 @@ void OrderingNode::StartFlattened(const BlockPtr& block) {
   xs.is_cross_enterprise = probe.collection.members.size() > 1;
   xs.is_cross_shard = probe.shards.size() > 1;
   xs.i_coordinate = true;
+  if (!xs.pinned) {
+    xs.pinned = true;
+    PinCross(block);
+  }
   xs.assignments[block->id.alpha.shard] =
       ShardAssignment{cfg_.cluster_id, block->id.alpha, block->id.gamma};
   own_pending_.insert({ShardRef{block->id.alpha.collection,

@@ -460,9 +460,28 @@ bool OrderingNode::IsDuplicateRequest(const RequestId& id) const {
   // retransmission may be admitted afresh — otherwise a transaction lost
   // in an abandoned proposal would stay blacklisted here until another
   // node became primary.
+  // pending_cross_ deliberately has no expiry: those requests sit in a
+  // cross instance this node keeps re-driving, so they are never
+  // abandoned while pinned (see FinishCross for the release).
   return committed_requests_.Contains(id) ||
+         pending_cross_.find(id) != pending_cross_.end() ||
          RecentlyIn(seen_requests_, id) ||
          RecentlyIn(observed_requests_, id);
+}
+
+void OrderingNode::PinCross(const BlockPtr& block) {
+  for (const auto& tx : block->txs) {
+    ++pending_cross_[{tx.client, tx.client_ts}];
+  }
+}
+
+void OrderingNode::UnpinCross(const BlockPtr& block) {
+  if (block == nullptr) return;
+  for (const auto& tx : block->txs) {
+    auto it = pending_cross_.find({tx.client, tx.client_ts});
+    if (it == pending_cross_.end()) continue;
+    if (--it->second == 0) pending_cross_.erase(it);
+  }
 }
 
 void OrderingNode::MaybePurgeDedup() {
@@ -793,6 +812,10 @@ void OrderingNode::ArmCrossTimer(const Sha256Digest& d) {
 
 void OrderingNode::FinishCross(XState& xs, bool committed) {
   xs.done = true;
+  if (xs.pinned) {
+    xs.pinned = false;
+    UnpinCross(xs.block);
+  }
   if (!committed) aborted_blocks_++;
   for (const auto& [shard, a] : xs.assignments) {
     if (a.cluster == cfg_.cluster_id) {
@@ -808,6 +831,10 @@ void OrderingNode::FinishCross(XState& xs, bool committed) {
       std::vector<DeferredCross> retry;
       retry.swap(deferred_cross_);
       for (auto& d : retry) {
+        // Hand the pin from the deferred entry to whatever holder the
+        // restart lands in (new instance, or back onto the deferred
+        // queue) — the Start call below re-pins.
+        UnpinCross(d.block);
         if (dir_->params.family == ProtocolFamily::kCoordinator) {
           StartCoordinated(d.block);
         } else {
@@ -836,6 +863,7 @@ void OrderingNode::FinishCross(XState& xs, bool committed) {
     env()->metrics.Inc("cross.retry");
     uint64_t token = next_retry_++;
     retry_blocks_[token] = {xs.block, xs.retries + 1};
+    PinCross(xs.block);
     SimTime backoff = 1000 * (cfg_.cluster_id + 1) * (xs.retries + 1);
     StartTimer(backoff, kTagRetry, token);
   }
@@ -846,6 +874,8 @@ void OrderingNode::RunRetry(uint64_t token) {
   if (it == retry_blocks_.end()) return;
   auto [old_block, retries] = it->second;
   retry_blocks_.erase(it);
+  // The retry entry's pin moves to the fresh block's holder below.
+  UnpinCross(old_block);
   const Transaction& probe = old_block->txs.front();
   BlockPtr fresh = MakeBlock(FlowKey{probe.collection, probe.shards},
                              old_block->txs,

@@ -43,6 +43,9 @@ class OrderingNode : public Actor {
   void OnTimer(uint64_t tag, uint64_t payload) override;
   void OnCrash() override;
   void OnRecover() override;
+  /// Byzantine-ordering fault injection (chaos corpus): forwards to the
+  /// internal consensus engine, which equivocates while enabled.
+  void SetEquivocating(bool on) override { engine_->SetEquivocate(on); }
 
   const ClusterConfig& cluster() const { return cfg_; }
   InternalConsensus* engine() { return engine_.get(); }
@@ -75,6 +78,7 @@ class OrderingNode : public Actor {
     bool is_cross_enterprise = false;
     bool is_cross_shard = false;
     bool i_coordinate = false;          // we are in the coordinator cluster
+    bool pinned = false;                // txs held in pending_cross_ here
     // Assignments collected per shard (keyed by shard id).
     std::map<ShardId, ShardAssignment> assignments;
     // Coordinator-side prepared bookkeeping: cluster -> voters.
@@ -340,6 +344,18 @@ class OrderingNode : public Actor {
   /// Amortized sweep of expired intake/observation entries (at most once
   /// per window), so both maps stay bounded under sustained load.
   void MaybePurgeDedup();
+  // Requests inside a cross block this node is actively driving — held in
+  // a deferred queue, a live locally-initiated instance, or a scheduled
+  // retry. These do NOT expire with the dedup window: the cross timer
+  // re-drives an instance indefinitely, so "presumed abandoned" is never
+  // true while the instance is live, and admitting a retransmission past
+  // the window would commit the same request twice (once in the stalled
+  // block once it finally lands, once in the fresh one). Reference
+  // counted because a transaction can sit in two overlapping holders
+  // during a hand-off (e.g. an aborted instance and its retry block).
+  std::map<RequestId, int> pending_cross_;
+  void PinCross(const BlockPtr& block);
+  void UnpinCross(const BlockPtr& block);
   SimTime last_dedup_purge_ = 0;
   // Progress watchdog for a relayed request: if neither the request is
   // observed in a proposal nor any slot delivers before the timer fires,

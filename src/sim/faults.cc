@@ -1,7 +1,10 @@
 #include "sim/faults.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+
+#include "common/serde.h"
 
 namespace qanaat {
 
@@ -28,10 +31,30 @@ const char* KindName(FaultAction::Kind k) {
       return "clear-faults";
     case FaultAction::Kind::kSetDropRate:
       return "drop-rate";
+    case FaultAction::Kind::kSlowNode:
+      return "slow-node";
+    case FaultAction::Kind::kEquivocate:
+      return "equivocate";
+    case FaultAction::Kind::kClearEquivocate:
+      return "clear-equivocate";
   }
   return "?";
 }
 }  // namespace
+
+const char* AdversaryName(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::kNone:
+      return "none";
+    case AdversaryKind::kGrayFailure:
+      return "gray";
+    case AdversaryKind::kEquivocation:
+      return "equivocation";
+    case AdversaryKind::kSelectiveSilence:
+      return "silence";
+  }
+  return "?";
+}
 
 std::string FaultAction::ToString() const {
   std::string s = KindName(kind);
@@ -41,8 +64,19 @@ std::string FaultAction::ToString() const {
     s += " drop=" + std::to_string(fault.drop) +
          " dup=" + std::to_string(fault.duplicate) +
          " reorder=" + std::to_string(fault.reorder);
+    if (fault.extra_delay_us > 0) {
+      s += " delay=" + std::to_string(fault.extra_delay_us) + "us";
+    }
+    if (fault.silence_mask != 0) {
+      s += " silence=0x";
+      char buf[17];
+      std::snprintf(buf, sizeof(buf), "%llx",
+                    static_cast<unsigned long long>(fault.silence_mask));
+      s += buf;
+    }
   }
   if (kind == Kind::kSetDropRate) s += " p=" + std::to_string(drop_rate);
+  if (kind == Kind::kSlowNode) s += " x=" + std::to_string(factor);
   return s;
 }
 
@@ -198,14 +232,49 @@ std::string FaultPlan::Summary() const {
 
 FaultPlan MakeRandomPlan(uint64_t seed, const std::vector<CrashGroup>& groups,
                          SimTime horizon, const ChaosProfile& profile) {
+  return MakeRandomPlan(seed, groups, horizon, profile, AdversaryTargets{});
+}
+
+FaultPlan MakeRandomPlan(uint64_t seed, const std::vector<CrashGroup>& groups,
+                         SimTime horizon, const ChaosProfile& profile,
+                         const AdversaryTargets& targets) {
   Rng rng(seed ^ 0xc4a05e1ab6f0ca75ULL);
   FaultPlan plan;
   std::vector<NodeId> victims;
 
+  // Staged adversary: pick one target group up front and charge the
+  // target against that group's failure bound — a gray or Byzantine node
+  // counts exactly like a crash victim, so the combined plan never
+  // exceeds f faults per cluster. With kNone none of this runs and the
+  // RNG stream matches the historic plans bit-for-bit.
+  std::vector<CrashGroup> staged = groups;
+  NodeId adversary_target = kInvalidNode;
+  size_t adversary_group = 0;
+  if (profile.adversary != AdversaryKind::kNone) {
+    std::vector<size_t> eligible;
+    for (size_t i = 0; i < staged.size() && i < targets.primaries.size();
+         ++i) {
+      if (targets.primaries[i] != kInvalidNode && staged[i].max_faulty > 0) {
+        eligible.push_back(i);
+      }
+    }
+    if (!eligible.empty()) {
+      adversary_group = eligible[rng.Uniform(eligible.size())];
+      adversary_target = targets.primaries[adversary_group];
+      CrashGroup& g = staged[adversary_group];
+      g.max_faulty -= 1;
+      g.crashable.erase(
+          std::remove(g.crashable.begin(), g.crashable.end(),
+                      adversary_target),
+          g.crashable.end());
+    }
+  }
+
   // Partition partners come from the whole crashable universe, so cross-
-  // group (cross-cluster) partitions arise naturally.
+  // group (cross-cluster) partitions arise naturally. The adversary
+  // target is excluded: it already consumes its group's fault slot.
   std::vector<NodeId> universe;
-  for (const auto& g : groups) {
+  for (const auto& g : staged) {
     universe.insert(universe.end(), g.crashable.begin(), g.crashable.end());
   }
 
@@ -220,7 +289,7 @@ FaultPlan MakeRandomPlan(uint64_t seed, const std::vector<CrashGroup>& groups,
     return std::make_pair(start, std::min(start + len, horizon));
   };
 
-  for (const auto& g : groups) {
+  for (const auto& g : staged) {
     // Up to max_faulty victims per group for the WHOLE run: a recovered
     // replica may have missed committed decisions, so it stays degraded.
     std::vector<NodeId> pool = g.crashable;
@@ -264,9 +333,161 @@ FaultPlan MakeRandomPlan(uint64_t seed, const std::vector<CrashGroup>& groups,
     plan.DropRateWindow(from, to, profile.loss);
   }
 
+  // Staged adversary windows. Drawn after every benign draw so the
+  // benign prefix of the schedule matches what the same seed produced
+  // before adversaries existed.
+  if (adversary_target != kInvalidNode) {
+    const std::vector<NodeId>& peers = groups[adversary_group].crashable;
+    auto [from, to] = window(horizon / 2);
+    switch (profile.adversary) {
+      case AdversaryKind::kNone:
+        break;
+      case AdversaryKind::kGrayFailure: {
+        FaultAction slow;
+        slow.kind = FaultAction::Kind::kSlowNode;
+        slow.a = adversary_target;
+        slow.factor = profile.gray_slow_factor;
+        plan.Add(from, slow);
+        FaultAction restore = slow;
+        restore.factor = 1.0;
+        plan.Add(to, restore);
+        Network::LinkFault lag;
+        lag.extra_delay_us = profile.gray_link_delay_us;
+        for (NodeId p : peers) {
+          if (p == adversary_target) continue;
+          plan.LinkFaultWindow(from, to, adversary_target, p, lag);
+        }
+        break;
+      }
+      case AdversaryKind::kEquivocation: {
+        FaultAction eq;
+        eq.kind = FaultAction::Kind::kEquivocate;
+        eq.a = adversary_target;
+        plan.Add(from, eq);
+        FaultAction clear;
+        clear.kind = FaultAction::Kind::kClearEquivocate;
+        clear.a = adversary_target;
+        plan.Add(to, clear);
+        break;
+      }
+      case AdversaryKind::kSelectiveSilence: {
+        Network::LinkFault silence;
+        silence.silence_mask = profile.silence_types;
+        if (silence.silence_mask != 0) {
+          for (NodeId p : peers) {
+            if (p == adversary_target) continue;
+            plan.LinkFaultWindow(from, to, adversary_target, p, silence);
+          }
+        }
+        break;
+      }
+    }
+    // Belt and braces: whatever a window left behind is reset at the
+    // horizon, next to HealEverything's link/partition/drop cleanup.
+    FaultAction unslow;
+    unslow.kind = FaultAction::Kind::kSlowNode;
+    unslow.a = adversary_target;
+    unslow.factor = 1.0;
+    plan.Add(horizon, unslow);
+    FaultAction uneq;
+    uneq.kind = FaultAction::Kind::kClearEquivocate;
+    uneq.a = adversary_target;
+    plan.Add(horizon, uneq);
+  }
+
   plan.HealEverything(horizon, victims);
   plan.Sort();
   return plan;
+}
+
+namespace {
+
+// Doubles are encoded as their IEEE-754 bit pattern: the round trip is
+// exact, which the replay guarantee requires (a re-expanded plan must
+// flip the same coins).
+uint64_t DoubleBits(double d) {
+  uint64_t u;
+  static_assert(sizeof(u) == sizeof(d), "double must be 64-bit");
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+double BitsDouble(uint64_t u) {
+  double d;
+  std::memcpy(&d, &u, sizeof(d));
+  return d;
+}
+
+constexpr uint32_t kPlanMagic = 0x51504c4e;  // "QPLN"
+constexpr uint8_t kPlanVersion = 1;
+
+}  // namespace
+
+std::vector<uint8_t> EncodePlan(const FaultPlan& plan) {
+  Encoder enc;
+  enc.PutU32(kPlanMagic);
+  enc.PutU8(kPlanVersion);
+  enc.PutU32(static_cast<uint32_t>(plan.events.size()));
+  for (const FaultEvent& ev : plan.events) {
+    enc.PutI64(ev.at);
+    enc.PutU8(static_cast<uint8_t>(ev.action.kind));
+    enc.PutU32(ev.action.a);
+    enc.PutU32(ev.action.b);
+    enc.PutU64(DoubleBits(ev.action.fault.drop));
+    enc.PutU64(DoubleBits(ev.action.fault.duplicate));
+    enc.PutU64(DoubleBits(ev.action.fault.reorder));
+    enc.PutI64(ev.action.fault.reorder_delay_us);
+    enc.PutI64(ev.action.fault.extra_delay_us);
+    enc.PutU64(ev.action.fault.silence_mask);
+    enc.PutU64(DoubleBits(ev.action.drop_rate));
+    enc.PutU64(DoubleBits(ev.action.factor));
+  }
+  return std::move(enc).Take();
+}
+
+Status DecodePlan(const std::vector<uint8_t>& buf, FaultPlan* out) {
+  Decoder dec(buf);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint32_t count = 0;
+  if (!dec.GetU32(&magic) || magic != kPlanMagic) {
+    return Status::Corruption("fault plan: bad magic");
+  }
+  if (!dec.GetU8(&version) || version != kPlanVersion) {
+    return Status::Corruption("fault plan: unsupported version");
+  }
+  if (!dec.GetU32(&count)) return Status::Corruption("fault plan: truncated");
+  FaultPlan plan;
+  plan.events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FaultEvent ev;
+    uint8_t kind = 0;
+    uint64_t drop = 0, dup = 0, reorder = 0, silence = 0, rate = 0,
+             factor = 0;
+    if (!dec.GetI64(&ev.at) || !dec.GetU8(&kind) ||
+        !dec.GetU32(&ev.action.a) || !dec.GetU32(&ev.action.b) ||
+        !dec.GetU64(&drop) || !dec.GetU64(&dup) || !dec.GetU64(&reorder) ||
+        !dec.GetI64(&ev.action.fault.reorder_delay_us) ||
+        !dec.GetI64(&ev.action.fault.extra_delay_us) ||
+        !dec.GetU64(&silence) || !dec.GetU64(&rate) ||
+        !dec.GetU64(&factor)) {
+      return Status::Corruption("fault plan: truncated event");
+    }
+    if (kind > static_cast<uint8_t>(FaultAction::Kind::kClearEquivocate)) {
+      return Status::Corruption("fault plan: unknown action kind");
+    }
+    ev.action.kind = static_cast<FaultAction::Kind>(kind);
+    ev.action.fault.drop = BitsDouble(drop);
+    ev.action.fault.duplicate = BitsDouble(dup);
+    ev.action.fault.reorder = BitsDouble(reorder);
+    ev.action.fault.silence_mask = silence;
+    ev.action.drop_rate = BitsDouble(rate);
+    ev.action.factor = BitsDouble(factor);
+    plan.events.push_back(std::move(ev));
+  }
+  if (!dec.Done()) return Status::Corruption("fault plan: trailing bytes");
+  *out = std::move(plan);
+  return Status::Ok();
 }
 
 FaultInjector::FaultInjector(Env* env, Network* net)
@@ -327,6 +548,15 @@ void FaultInjector::Apply(const FaultAction& a) {
       break;
     case FaultAction::Kind::kSetDropRate:
       net_->SetDropRate(a.drop_rate);
+      break;
+    case FaultAction::Kind::kSlowNode:
+      net_->actor(a.a)->SetCpuFactor(a.factor);
+      break;
+    case FaultAction::Kind::kEquivocate:
+      net_->actor(a.a)->SetEquivocating(true);
+      break;
+    case FaultAction::Kind::kClearEquivocate:
+      net_->actor(a.a)->SetEquivocating(false);
       break;
   }
 }

@@ -5,13 +5,15 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "sim/network.h"
 
 namespace qanaat {
 
 /// One step of a fault schedule. Declarative so a plan can be printed,
-/// stored next to a failing seed and replayed verbatim.
+/// serialized (EncodePlan/DecodePlan), stored next to a failing seed and
+/// replayed verbatim.
 struct FaultAction {
   enum class Kind : uint8_t {
     kCrash = 0,          // crash-stop node a
@@ -24,6 +26,9 @@ struct FaultAction {
     kGlobalLinkFault,    // install `fault` as the default for every link
     kClearLinkFaults,    // remove all per-link and default fault rules
     kSetDropRate,        // set the global drop rate to `drop_rate`
+    kSlowNode,           // gray failure: node a's CPU charges x `factor`
+    kEquivocate,         // node a's consensus primary equivocates
+    kClearEquivocate,    // node a stops equivocating
   };
 
   Kind kind = Kind::kCrash;
@@ -31,6 +36,8 @@ struct FaultAction {
   NodeId b = kInvalidNode;
   Network::LinkFault fault;
   double drop_rate = 0.0;
+  /// CPU inflation for kSlowNode (1.0 = restore full speed).
+  double factor = 1.0;
 
   std::string ToString() const;
 };
@@ -88,6 +95,29 @@ struct CrashGroup {
   int max_faulty = 1;
 };
 
+/// Active-adversary profile a random plan can stage on top of the benign
+/// crash/partition/loss chaos. Each targets one consensus group and must
+/// cost only liveness, never safety — the SafetyAuditor proves it.
+enum class AdversaryKind : uint8_t {
+  kNone = 0,
+  /// Slow-but-alive primary: inflated CPU charges plus extra one-way
+  /// latency on every link between the primary and its cluster peers.
+  /// The node never dies, so naive dead/alive detectors see a healthy
+  /// peer while quorums crawl.
+  kGrayFailure,
+  /// Byzantine ordering node: the targeted primary equivocates —
+  /// divergent pre-prepare digests to disjoint replica subsets. Correct
+  /// replicas must never commit conflicting values; the cluster pays a
+  /// view change.
+  kEquivocation,
+  /// Selective-silence links: per-message-type deterministic drop rules
+  /// between the target and its cluster peers (e.g. swallow only
+  /// view-change or checkpoint traffic); everything else flows.
+  kSelectiveSilence,
+};
+
+const char* AdversaryName(AdversaryKind k);
+
 /// Knobs for seed-expanded random plans.
 struct ChaosProfile {
   bool crashes = true;
@@ -104,6 +134,28 @@ struct ChaosProfile {
   int crash_cycles = 2;
   SimTime min_window = 50 * kMillisecond;
   SimTime max_window = 250 * kMillisecond;
+
+  /// Staged adversary (kNone reproduces the historic plans bit-for-bit:
+  /// no extra RNG draws, no group adjustments).
+  AdversaryKind adversary = AdversaryKind::kNone;
+  /// Gray failure: CPU inflation on the target and extra one-way latency
+  /// on its cluster links.
+  double gray_slow_factor = 6.0;
+  SimTime gray_link_delay_us = 3 * kMillisecond;
+  /// Selective silence: mask of MsgType bits to swallow
+  /// (Network::LinkFault::TypeBit). 0 lets the harness pick a
+  /// stack-appropriate default.
+  uint64_t silence_types = 0;
+};
+
+/// Per-group adversary targets for MakeRandomPlan: entry i names the node
+/// the staged adversary may target in groups[i] (a cluster's current
+/// primary / Fabric's pinned Raft leader); kInvalidNode = no target. The
+/// target consumes one of its group's `max_faulty` slots — a Byzantine or
+/// gray node counts against the same bound a crash victim would, so the
+/// plan never exceeds f combined faults per cluster.
+struct AdversaryTargets {
+  std::vector<NodeId> primaries;
 };
 
 /// Expands a seed into a randomized fault schedule over [0, horizon):
@@ -113,6 +165,21 @@ struct ChaosProfile {
 /// `horizon`, so the system can quiesce and be audited for convergence.
 FaultPlan MakeRandomPlan(uint64_t seed, const std::vector<CrashGroup>& groups,
                          SimTime horizon, const ChaosProfile& profile);
+
+/// Same, with staged-adversary support: when profile.adversary != kNone
+/// and a target exists, one group is chosen and its target gets the
+/// adversary windows (slow-node actions + link delays, equivocation
+/// window, or selective-silence link rules). The adversary's RNG draws
+/// come strictly after the benign plan's, so kNone plans are bit-identical
+/// to the historic three-argument overload.
+FaultPlan MakeRandomPlan(uint64_t seed, const std::vector<CrashGroup>& groups,
+                         SimTime horizon, const ChaosProfile& profile,
+                         const AdversaryTargets& targets);
+
+/// Canonical little-endian serialization of a plan, so a failing seed's
+/// expanded schedule can be stored verbatim next to its repro command.
+std::vector<uint8_t> EncodePlan(const FaultPlan& plan);
+Status DecodePlan(const std::vector<uint8_t>& buf, FaultPlan* out);
 
 /// Executes a FaultPlan against the simulation: an actor whose timers
 /// walk the schedule and apply each action to the Network / target

@@ -185,6 +185,13 @@ void Network::Send(NodeId from, NodeId to, MessageRef msg) {
   if (src->crashed() || dst->crashed()) return;
 
   const LinkFault* lf = FaultFor(from, to);
+  // Selective silence is deterministic (no coin): it must come before any
+  // random draw so swallowed messages never perturb the fault RNG stream.
+  if (lf != nullptr && lf->silence_mask != 0 && lf->Silences(msg->type)) {
+    ++silenced_;
+    env_->metrics.Inc("net.silenced");
+    return;
+  }
   if (drop_rate_ > 0 && rng_.NextDouble() < drop_rate_) {
     env_->metrics.Inc("net.dropped");
     return;
@@ -259,7 +266,7 @@ SimTime Actor::CostOf(const Message& msg) const {
 void Actor::DeliverAt(SimTime arrival, NodeId from, MessageRef msg) {
   if (crashed_) return;
   SimTime start = std::max(arrival, busy_until_);
-  SimTime done = start + CostOf(*msg);
+  SimTime done = start + Inflate(CostOf(*msg));
   busy_until_ = done;
   // Tagged handle event: the epoch guard runs at execution time, so work
   // accepted before a crash cannot complete in a recovered life.

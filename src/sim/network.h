@@ -54,18 +54,29 @@ class Network {
   /// Per-link fault rule. All probabilities are independent coins drawn
   /// per message; `reorder_delay_us` bounds the extra delay a reordered
   /// (or duplicated) copy receives, which bounds how far delivery order
-  /// can diverge from send order.
+  /// can diverge from send order. `silence_mask` is a *deterministic*
+  /// per-message-type drop (bit = MsgType): a selective-silence adversary
+  /// swallows e.g. only view-change or checkpoint traffic while every
+  /// other message passes. Silenced sends consume no randomness, so a
+  /// seed replays bit-identically regardless of how many were swallowed.
   struct LinkFault {
     double drop = 0.0;       // loss probability
     double duplicate = 0.0;  // probability of delivering a second copy
     double reorder = 0.0;    // probability of an extra random delay
     SimTime reorder_delay_us = 2000;
     SimTime extra_delay_us = 0;  // fixed additional one-way latency
+    uint64_t silence_mask = 0;   // deterministic per-MsgType drop bits
 
-    bool Destructive() const { return drop > 0.0; }
+    static constexpr uint64_t TypeBit(MsgType t) {
+      return uint64_t{1} << static_cast<unsigned>(t);
+    }
+    bool Silences(MsgType t) const {
+      return (silence_mask >> static_cast<unsigned>(t)) & uint64_t{1};
+    }
+    bool Destructive() const { return drop > 0.0 || silence_mask != 0; }
     bool Any() const {
       return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
-             extra_delay_us > 0;
+             extra_delay_us > 0 || silence_mask != 0;
     }
   };
 
@@ -132,6 +143,7 @@ class Network {
   uint64_t blocked_sends() const { return blocked_sends_; }
   uint64_t duplicated() const { return duplicated_; }
   uint64_t reordered() const { return reordered_; }
+  uint64_t silenced() const { return silenced_; }
 
  private:
   /// Directed links are keyed by one packed word on every hot-path
@@ -193,6 +205,7 @@ class Network {
   uint64_t blocked_sends_ = 0;
   uint64_t duplicated_ = 0;
   uint64_t reordered_ = 0;
+  uint64_t silenced_ = 0;
 };
 
 /// Base class for every simulated node (ordering node, execution node,
@@ -239,6 +252,21 @@ class Actor {
   void SetByzantine(bool b) { byzantine_ = b; }
   bool byzantine() const { return byzantine_; }
 
+  /// Gray-failure injection: every CPU charge (message processing and
+  /// explicit ChargeCpu) is multiplied by `f`. A gray node is
+  /// slow-but-alive — it keeps answering, just late enough to stall
+  /// quorums and trip (or worse, *not* trip) failure detectors. 1.0
+  /// restores full speed; the 1.0 path is bit-identical to a node that
+  /// was never slowed.
+  void SetCpuFactor(double f) { cpu_factor_ = f <= 0 ? 1.0 : f; }
+  double cpu_factor() const { return cpu_factor_; }
+
+  /// Byzantine-ordering injection hook: protocol subclasses that run a
+  /// consensus engine make their primary equivocate (divergent digests to
+  /// disjoint replica subsets). Default: ignore — only ordering nodes
+  /// misbehave this way.
+  virtual void SetEquivocating(bool /*on*/) {}
+
   /// Called by the network at delivery time (after transport latency);
   /// enqueues CPU work.
   void DeliverAt(SimTime arrival, NodeId from, MessageRef msg);
@@ -272,14 +300,24 @@ class Actor {
   /// Occupy the CPU for `d` more microseconds (e.g. executing a batch).
   /// The charge starts from now when the CPU is idle: extending a
   /// busy_until_ that lies in the past would under-charge by the idle gap.
+  /// A gray-failed node (cpu_factor > 1) pays inflated charges.
   void ChargeCpu(SimTime d) {
-    busy_until_ = std::max(now(), busy_until_) + d;
+    busy_until_ = std::max(now(), busy_until_) + Inflate(d);
   }
 
   /// Per-message CPU cost; default = base + verifications.
   virtual SimTime CostOf(const Message& msg) const;
 
  private:
+  friend class Network;
+  /// Applies the gray-failure CPU inflation. The factor-1.0 fast path
+  /// performs no floating-point arithmetic, so un-slowed runs stay
+  /// bit-identical to builds that predate the gray-failure adversary.
+  SimTime Inflate(SimTime d) const {
+    if (cpu_factor_ == 1.0) return d;
+    return static_cast<SimTime>(static_cast<double>(d) * cpu_factor_);
+  }
+
   Env* env_;
   std::string name_;
   int region_;
@@ -288,6 +326,7 @@ class Actor {
   bool byzantine_ = false;
   uint64_t epoch_ = 0;
   SimTime busy_until_ = 0;
+  double cpu_factor_ = 1.0;
 };
 
 }  // namespace qanaat
