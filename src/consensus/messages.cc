@@ -360,6 +360,7 @@ void StateRequestMsg::EncodeTo(Encoder* enc) const {
     enc->PutU64(h.head);
   }
   enc->PutU64(frontier);
+  enc->PutU32(requester);
 }
 
 bool StateRequestMsg::DecodeFrom(Decoder* dec, StateRequestMsg* out) {
@@ -373,7 +374,7 @@ bool StateRequestMsg::DecodeFrom(Decoder* dec, StateRequestMsg* out) {
       return false;
     }
   }
-  return dec->GetU64(&out->frontier);
+  return dec->GetU64(&out->frontier) && dec->GetU32(&out->requester);
 }
 
 void StateReplyMsg::EncodeTo(Encoder* enc) const {
@@ -386,6 +387,7 @@ void StateReplyMsg::EncodeTo(Encoder* enc) const {
     enc->PutU16(static_cast<uint16_t>(e.gamma.size()));
     for (const auto& g : e.gamma) g.EncodeTo(enc);
   }
+  enc->PutU32(requester);
 }
 
 bool StateReplyMsg::DecodeFrom(Decoder* dec, StateReplyMsg* out) {
@@ -407,7 +409,7 @@ bool StateReplyMsg::DecodeFrom(Decoder* dec, StateReplyMsg* out) {
       if (!GammaEntry::DecodeFrom(dec, &g)) return false;
     }
   }
-  return true;
+  return dec->GetU32(&out->requester);
 }
 
 void FillRequestMsg::EncodeTo(Encoder* enc) const {

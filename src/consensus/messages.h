@@ -251,6 +251,12 @@ struct StateRequestMsg : Message {
   };
   std::vector<ChainHead> heads;
   uint64_t frontier = 0;  // engine LastDelivered()
+  /// Originator of a pull-based transfer routed through the privacy
+  /// firewall: an execution node cannot be addressed by a serving
+  /// ordering node directly, so the reply carries this id back up and
+  /// the top filter row delivers it. kInvalidNode for the ordering-side
+  /// peer-to-peer path (the server just answers the sender).
+  NodeId requester = kInvalidNode;
 
   void EncodeTo(Encoder* enc) const;
   static bool DecodeFrom(Decoder* dec, StateRequestMsg* out);
@@ -272,6 +278,10 @@ struct StateReplyMsg : Message {
   };
   CheckpointCertificate ckpt;  // may be empty (no stable checkpoint yet)
   std::vector<Entry> entries;  // per chain, ascending sequence numbers
+  /// Echo of StateRequestMsg::requester: lets each filter row route the
+  /// reply up to the pulling execution node instead of flooding every
+  /// row (see ExecutionNode::SendPullRequest).
+  NodeId requester = kInvalidNode;
 
   void EncodeTo(Encoder* enc) const;
   static bool DecodeFrom(Decoder* dec, StateReplyMsg* out);

@@ -65,7 +65,6 @@ class ExecutorCore {
   uint64_t executed_txs() const { return executed_txs_; }
   size_t pending_blocks() const { return waiting_.size(); }
 
- private:
   struct Pending {
     BlockPtr block;
     CommitCertificate cert;
@@ -73,6 +72,15 @@ class ExecutorCore {
     std::vector<GammaEntry> gamma;
     ExecCallback on_done;
   };
+  /// Committed blocks still waiting on a chain predecessor or γ
+  /// dependency. State-transfer servers include these beyond the
+  /// requester's heads: a wedged chain would otherwise hide its certified
+  /// tail from every sync until the wedge resolves — after which the
+  /// requester may never sync again (the tail block has no successor to
+  /// reveal the gap).
+  const std::vector<Pending>& pending() const { return waiting_; }
+
+ private:
 
   bool Ready(const Pending& p) const;
   void ExecuteNow(Pending& p);

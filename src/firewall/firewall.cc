@@ -1,5 +1,9 @@
 #include "firewall/firewall.h"
 
+#include <algorithm>
+
+#include "protocols/cross_messages.h"
+
 namespace qanaat {
 
 // ------------------------------------------------------- ExecutionNode
@@ -15,9 +19,170 @@ ExecutionNode::ExecutionNode(Env* env, const Directory* dir,
       index_(index),
       core_(env, model, cfg_.enterprise, cfg_.shard) {}
 
-void ExecutionNode::OnMessage(NodeId /*from*/, const MessageRef& msg) {
+void ExecutionNode::OnMessage(NodeId from, const MessageRef& msg) {
   if (msg->type == MsgType::kExecOrder) {
     HandleExecOrder(*msg->As<ExecOrderMsg>());
+  } else if (msg->type == MsgType::kStateRequest) {
+    HandleStateRequest(from, *msg->As<StateRequestMsg>());
+  } else if (msg->type == MsgType::kStateReply) {
+    HandleStateReply(*msg->As<StateReplyMsg>());
+  }
+}
+
+void ExecutionNode::OnTimer(uint64_t tag, uint64_t /*payload*/) {
+  if (tag != kTagPull) return;
+  pull_armed_ = false;
+  if (core_.pending_blocks() == 0) return;  // the push stream caught up
+  if (core_.ledger().size() > pull_ledger_mark_) {
+    // Progress since arming: pushes are draining the gap. Keep watching
+    // without pulling, so a merely-slow stream never costs a transfer.
+    ArmPullWatchdog();
+    return;
+  }
+  env()->metrics.Inc("exec.pull_wedged");
+  SendPullRequest();
+  ArmPullWatchdog();
+}
+
+void ExecutionNode::OnRecover() {
+  if (!dir_->params.state_transfer) return;
+  env()->metrics.Inc("exec.pull_on_recover");
+  SendPullRequest();
+  ArmPullWatchdog();
+}
+
+void ExecutionNode::ArmPullWatchdog() {
+  if (!dir_->params.state_transfer || pull_armed_) return;
+  pull_armed_ = true;
+  pull_ledger_mark_ = core_.ledger().size();
+  StartTimer(dir_->params.consensus_timeout_us, kTagPull);
+}
+
+void ExecutionNode::SendPullRequest() {
+  auto req = std::make_shared<StateRequestMsg>();
+  for (const auto& [ref, chain] : core_.ledger().chains()) {
+    req->heads.push_back(StateRequestMsg::ChainHead{
+        ref.collection, ref.shard, core_.ledger().HeadOf(ref)});
+  }
+  // An executor has no consensus frontier; the max sentinel suppresses
+  // checkpoint-only replies — it only ever wants ledger entries.
+  req->frontier = UINT64_MAX;
+  req->requester = id();
+  req->wire_bytes = 48 + static_cast<uint32_t>(req->heads.size()) * 16;
+  env()->metrics.Inc("exec.pull_requested");
+  if (cfg_.HasFirewall()) {
+    // The top filter row brokers the transfer to a serving peer.
+    const std::vector<NodeId>& hop = cfg_.filter_rows.back();
+    Send(hop[pull_rr_++ % hop.size()], req);
+    return;
+  }
+  // No firewall (Fig 4(b)): pull from a peer execution node directly —
+  // they, not the ordering nodes, retain the executable ledger.
+  std::vector<NodeId> peers;
+  for (NodeId p : cfg_.execution) {
+    if (p != id()) peers.push_back(p);
+  }
+  if (peers.empty()) return;
+  Send(peers[pull_rr_++ % peers.size()], req);
+}
+
+void ExecutionNode::HandleStateRequest(NodeId from,
+                                       const StateRequestMsg& m) {
+  if (!dir_->params.state_transfer) return;
+  if (std::find(cfg_.execution.begin(), cfg_.execution.end(), m.requester) ==
+      cfg_.execution.end()) {
+    return;  // filters validate this too; defense in depth
+  }
+  std::map<ShardRef, SeqNo> req_heads;
+  for (const auto& h : m.heads) {
+    req_heads[ShardRef{h.collection, h.shard}] = h.head;
+  }
+  // Same chunking as the ordering-side server: at most kMaxEntries per
+  // reply, filled round-robin ACROSS chains so a long chain cannot
+  // starve the chain its γ dependencies point at; the requester re-pulls
+  // with advanced heads until a round installs nothing new.
+  constexpr size_t kMaxEntries = 256;
+  auto rep = std::make_shared<StateReplyMsg>();
+  const DagLedger& led = core_.ledger();
+  uint64_t bytes = 64;
+  size_t verify_ops = 0;
+  std::vector<std::pair<const std::vector<size_t>*, size_t>> cursors;
+  for (const auto& [ref, chain] : led.chains()) {
+    auto it = req_heads.find(ref);
+    SeqNo have = it == req_heads.end() ? 0 : it->second;
+    if (have < chain.size()) cursors.emplace_back(&chain, have);
+  }
+  bool any = true;
+  while (any && rep->entries.size() < kMaxEntries) {
+    any = false;
+    for (auto& [chain, i] : cursors) {
+      if (i >= chain->size() || rep->entries.size() >= kMaxEntries) {
+        continue;
+      }
+      const DagLedger::Entry& e = led.entry((*chain)[i++]);
+      rep->entries.push_back(
+          StateReplyMsg::Entry{e.block, e.cert, e.alpha, e.gamma});
+      bytes += 64 + e.block->WireSize() + e.cert.WireSize();
+      verify_ops += e.cert.sigs.size();
+      any = true;
+    }
+  }
+  // Certified-but-wedged tail (see the ordering-side server): committed
+  // blocks still waiting on predecessors here must travel too, or a
+  // requester recovering during the wedge can never learn them.
+  for (const auto& p : core_.pending()) {
+    if (rep->entries.size() >= kMaxEntries) break;
+    auto it = req_heads.find(ShardRef{p.alpha.collection, p.alpha.shard});
+    SeqNo have = it == req_heads.end() ? 0 : it->second;
+    if (p.alpha.n <= have) continue;
+    rep->entries.push_back(
+        StateReplyMsg::Entry{p.block, p.cert, p.alpha, p.gamma});
+    bytes += 64 + p.block->WireSize() + p.cert.WireSize();
+    verify_ops += p.cert.sigs.size();
+  }
+  if (rep->entries.empty()) return;  // nothing the requester lacks
+  rep->requester = m.requester;
+  rep->wire_bytes =
+      static_cast<uint32_t>(std::min<uint64_t>(bytes, UINT32_MAX));
+  rep->sig_verify_ops =
+      static_cast<uint16_t>(std::min<size_t>(verify_ops, 65535));
+  env()->metrics.Inc("exec.state_served");
+  env()->metrics.Inc("exec.state_blocks_served", rep->entries.size());
+  // With a firewall `from` is the brokering top-row filter, which routes
+  // the reply to the requester; without one it is the requester itself.
+  Send(from, rep);
+}
+
+void ExecutionNode::HandleStateReply(const StateReplyMsg& m) {
+  if (!dir_->params.state_transfer) return;
+  size_t installed = 0;
+  for (const auto& e : m.entries) {
+    ShardRef ref{e.alpha.collection, e.alpha.shard};
+    if (e.alpha.n <= core_.ledger().HeadOf(ref)) continue;  // have it
+    if (!VerifyTransferredLedgerEntry(*dir_, env()->keystore, e)) {
+      env()->metrics.Inc("exec.bad_pull_block");
+      continue;
+    }
+    if (seen_.count(e.cert.block_digest)) continue;
+    seen_.insert(e.cert.block_digest);
+    // Re-execution rebuilds the store deterministically. No reply share
+    // goes out for pulled blocks: the clients were answered by the
+    // executors that stayed up, this node only needs to converge.
+    Status st = core_.Submit(
+        e.block, e.cert, e.alpha, e.gamma,
+        [this](const ExecutorCore::ExecResult& res) {
+          ChargeCpu(res.cpu_cost);
+        });
+    if (st.ok()) {
+      ++installed;
+      env()->metrics.Inc("exec.pull_block_installed");
+    }
+  }
+  if (installed > 0) {
+    // Another round with the advanced heads: replies are chunked, and
+    // the serving node may have committed more meanwhile. The exchange
+    // quiesces once a round installs nothing new.
+    SendPullRequest();
   }
 }
 
@@ -66,6 +231,10 @@ void ExecutionNode::HandleExecOrder(const ExecOrderMsg& m) {
   if (!st.ok() && st.code() != StatusCode::kAlreadyExists) {
     env()->metrics.Inc("exec.submit_error");
   }
+  // A block parked behind a missing predecessor or γ dependency means a
+  // ledger gap: start (or keep) the pull watchdog so a push lost for
+  // good cannot wedge this executor forever.
+  if (core_.pending_blocks() > 0) ArmPullWatchdog();
 }
 
 // ----------------------------------------------------------- FilterNode
@@ -102,6 +271,12 @@ void FilterNode::OnMessage(NodeId from, const MessageRef& msg) {
       break;
     case MsgType::kReplyCert:
       HandleReplyCert(from, msg);
+      break;
+    case MsgType::kStateRequest:
+      HandleStateRequest(from, msg);
+      break;
+    case MsgType::kStateReply:
+      HandleStateReply(from, msg);
       break;
     default:
       ++filtered_;
@@ -219,6 +394,51 @@ void FilterNode::HandleReplyCert(NodeId /*from*/, const MessageRef& msg) {
     return;
   }
   Multicast(Below(), msg);
+}
+
+void FilterNode::HandleStateRequest(NodeId /*from*/, const MessageRef& msg) {
+  const auto& m = *msg->As<StateRequestMsg>();
+  // Only pulls originated by this cluster's execution nodes may use the
+  // firewall, and only through the top row; anything else is
+  // out-of-protocol traffic.
+  if (!top_row_ ||
+      std::find(cfg_.execution.begin(), cfg_.execution.end(), m.requester) ==
+          cfg_.execution.end()) {
+    ++filtered_;
+    env()->metrics.Inc("firewall.filtered_bad_pull");
+    return;
+  }
+  // Broker to a serving peer — never back to the requester itself.
+  std::vector<NodeId> peers;
+  for (NodeId p : cfg_.execution) {
+    if (p != m.requester) peers.push_back(p);
+  }
+  if (peers.empty()) {
+    ++filtered_;
+    env()->metrics.Inc("firewall.filtered_bad_pull");
+    return;
+  }
+  Send(peers[pull_rr_serve_++ % peers.size()], msg);
+}
+
+void FilterNode::HandleStateReply(NodeId /*from*/, const MessageRef& msg) {
+  const auto& m = *msg->As<StateReplyMsg>();
+  if (std::find(cfg_.execution.begin(), cfg_.execution.end(), m.requester) ==
+      cfg_.execution.end()) {
+    ++filtered_;
+    env()->metrics.Inc("firewall.filtered_bad_pull");
+    return;
+  }
+  if (!top_row_) {
+    // Transfers never cross below the top row: a StateReply arriving at
+    // a lower row was injected or misrouted.
+    ++filtered_;
+    env()->metrics.Inc("firewall.filtered_bad_pull");
+    return;
+  }
+  // The requester validated above is one of our execution nodes, so this
+  // delivery stays inside the firewall's wiring.
+  Send(m.requester, msg);
 }
 
 // --------------------------------------------------- link restrictions

@@ -24,6 +24,11 @@ class ExecutionNode : public Actor {
                 int cluster_id, int index);
 
   void OnMessage(NodeId from, const MessageRef& msg) override;
+  void OnTimer(uint64_t tag, uint64_t payload) override;
+  /// A restarted executor has no timers left and may have missed
+  /// ExecOrder pushes entirely while down: pull proactively instead of
+  /// waiting for a successor block to reveal the gap.
+  void OnRecover() override;
 
   const ExecutorCore& core() const { return core_; }
   ExecutorCore* mutable_core() { return &core_; }
@@ -33,7 +38,30 @@ class ExecutionNode : public Actor {
   void SetCorruptReplies(bool c) { corrupt_replies_ = c; }
 
  private:
+  static constexpr uint64_t kTagPull = 1;
+
   void HandleExecOrder(const ExecOrderMsg& m);
+  /// Serves a peer executor's pull from this node's own ledger. Ordering
+  /// nodes cannot serve these: with separated execution they forward
+  /// blocks through the firewall without retaining an executable ledger,
+  /// so the committed blocks (with their certificates) live only on the
+  /// execution side. Entries are self-certifying, so a gapped peer can
+  /// safely take them from any single serving executor.
+  void HandleStateRequest(NodeId from, const StateRequestMsg& m);
+  /// Pull-based state transfer (firewall side): entries are
+  /// self-certifying, so the executor verifies each one against its
+  /// commit certificate before re-executing — a faulty filter or serving
+  /// node cannot inject a fake block.
+  void HandleStateReply(const StateReplyMsg& m);
+  /// Sends a StateRequest carrying this node's chain heads toward a peer
+  /// execution node: via one top-row filter (round-robin) with a
+  /// firewall, directly to a peer without one. `requester` routes the
+  /// reply back through the top row.
+  void SendPullRequest();
+  /// Arms the gap watchdog: if blocks are still waiting on missing
+  /// predecessors after a consensus timeout with no ledger growth, the
+  /// push stream has lost something for good — switch to pulling.
+  void ArmPullWatchdog();
 
   const Directory* dir_;
   ClusterConfig cfg_;
@@ -41,6 +69,9 @@ class ExecutionNode : public Actor {
   ExecutorCore core_;
   bool corrupt_replies_ = false;
   std::set<Sha256Digest> seen_;
+  bool pull_armed_ = false;
+  size_t pull_ledger_mark_ = 0;  // ledger size when the watchdog armed
+  uint32_t pull_rr_ = 0;         // round-robins the first-hop target
 };
 
 /// A privacy-firewall filter node (paper §3.4). Filters are stateless
@@ -67,6 +98,15 @@ class FilterNode : public Actor {
   void HandleExecOrder(NodeId from, const MessageRef& msg);
   void HandleExecReply(NodeId from, const ExecReplyMsg& m);
   void HandleReplyCert(NodeId from, const MessageRef& msg);
+  /// Executor pull brokering (top row only): a StateRequest from a
+  /// gapped execution node is handed to one of its peers (round-robin,
+  /// never the requester itself), and the serving peer's StateReply is
+  /// routed back to the requester. Transfers never cross below the top
+  /// row — with separated execution only the executors hold the ledger —
+  /// and the requester simply re-pulls through a different filter if one
+  /// hop or serving peer is faulty.
+  void HandleStateRequest(NodeId from, const MessageRef& msg);
+  void HandleStateReply(NodeId from, const MessageRef& msg);
 
   /// Nodes in the row toward execution (row above), or the execution
   /// nodes themselves for the top row.
@@ -87,6 +127,7 @@ class FilterNode : public Actor {
       reply_shares_;
   std::map<Sha256Digest, std::shared_ptr<const ExecReplyMsg>> reply_bodies_;
   uint64_t filtered_ = 0;
+  uint32_t pull_rr_serve_ = 0;  // round-robins the serving peer choice
 };
 
 /// Wires the physical link restrictions of a cluster's firewall into the

@@ -170,6 +170,38 @@ Status SafetyAuditor::AuditQanaat(QanaatSystem& sys, bool full,
         }
       }
     }
+
+    // 5. Eventual commit of arbitration losers (§4.3.5): a transaction
+    // whose block lost a digest-priority arbitration was re-queued for
+    // re-proposal, so after heal it must appear on some winning block in
+    // some ledger. Chain agreement (1) and at-most-once (2) upgrade
+    // "eventually commits" to "commits exactly once".
+    std::set<std::pair<NodeId, uint64_t>> losers;
+    for (int c = 0; c < sys.cluster_count(); ++c) {
+      const ClusterConfig& cc = sys.directory().Cluster(c);
+      for (size_t i = 0; i < cc.ordering.size(); ++i) {
+        const auto& l = sys.ordering_node(c, static_cast<int>(i))
+                            ->arbitration_loser_txs();
+        losers.insert(l.begin(), l.end());
+      }
+    }
+    if (!losers.empty()) {
+      std::set<std::pair<NodeId, uint64_t>> committed;
+      for (const auto& [node, led] : ledgers) {
+        for (size_t i = 0; i < led->size(); ++i) {
+          for (const Transaction& tx : led->entry(i).block->txs) {
+            committed.insert({tx.client, tx.client_ts});
+          }
+        }
+      }
+      for (const auto& [client, ts] : losers) {
+        if (!committed.count({client, ts})) {
+          return Status::Internal(
+              "arbitration loser never re-committed: client " +
+              std::to_string(client) + " ts " + std::to_string(ts));
+        }
+      }
+    }
   }
   return Status::Ok();
 }
@@ -257,6 +289,7 @@ ChaosReport RunQanaatChaos(const ChaosOptions& opts) {
                                 ? FailureModel::kByzantine
                                 : FailureModel::kCrash;
   so.params.family = opts.family;
+  so.params.designated_coordinator = opts.designated_coordinator;
   so.params.use_firewall =
       opts.use_firewall && opts.stack == ChaosStack::kQanaatPbft;
   so.seed = opts.seed;

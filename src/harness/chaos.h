@@ -33,6 +33,11 @@ struct ChaosOptions {
   int enterprises = 2;
   int shards_per_enterprise = 2;
   ProtocolFamily family = ProtocolFamily::kFlattened;
+  /// When false, any involved cluster may claim a slot for a shared
+  /// collection shard — the §4.3.5 symmetric-rivalry regime that the
+  /// cross-conflict corpus profile drives (digest-priority arbitration
+  /// plus loser re-proposal must settle every contested transaction).
+  bool designated_coordinator = true;
   bool use_firewall = false;
   /// With the firewall: one execution node per cluster turns Byzantine
   /// and corrupts every reply — the filters must contain it.

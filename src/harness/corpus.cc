@@ -46,10 +46,21 @@ std::vector<CorpusEntry> CorpusManifest::Enumerate() const {
       ChaosStack::kFabric,
   };
   std::vector<CorpusEntry> out;
-  out.reserve(static_cast<size_t>(seeds) * 3);
+  out.reserve(static_cast<size_t>(seeds) * 3 +
+              static_cast<size_t>(conflict_seeds) * 2);
   for (ChaosStack stack : kStacks) {
     for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {
       out.push_back({stack, seed, AdversaryFor(stack, seed)});
+    }
+  }
+  // Cross-conflict profile: Qanaat stacks only (Fabric has no cross-shard
+  // slot claims to contest). Appending keeps every rotation cell's
+  // position, identity and shard untouched.
+  for (ChaosStack stack :
+       {ChaosStack::kQanaatPbft, ChaosStack::kQanaatPaxos}) {
+    for (uint64_t i = 1; i <= static_cast<uint64_t>(conflict_seeds); ++i) {
+      out.push_back(
+          {stack, kConflictSeedBase + i, AdversaryKind::kCrossConflict});
     }
   }
   return out;
@@ -92,6 +103,18 @@ ChaosOptions EntryOptions(const CorpusEntry& e) {
   o.profile.reorder = 0.05;
   o.profile.loss = (e.seed % 4 == 0) ? 0.02 : 0.0;
   o.profile.adversary = e.adversary;
+  if (e.adversary == AdversaryKind::kCrossConflict) {
+    // §4.3.5 rivalry regime: no designated coordinators, flattened
+    // protocols (arbitration lives in the FAccept path), a cross-heavy
+    // intra-shard cross-enterprise mix so rival clusters contest the
+    // same shared-collection slots, and no untargeted loss — the
+    // convergence and eventual-commit audits must stay armed.
+    o.designated_coordinator = false;
+    o.family = ProtocolFamily::kFlattened;
+    o.cross_kind = CrossKind::kIntraShardCrossEnterprise;
+    o.cross_fraction = 0.5;
+    o.profile.loss = 0.0;
+  }
   return o;
 }
 
@@ -156,6 +179,8 @@ bool ParseAdversary(const std::string& s, AdversaryKind* out) {
     *out = AdversaryKind::kEquivocation;
   } else if (s == "silence") {
     *out = AdversaryKind::kSelectiveSilence;
+  } else if (s == "conflict") {
+    *out = AdversaryKind::kCrossConflict;
   } else {
     return false;
   }

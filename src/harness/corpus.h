@@ -26,9 +26,20 @@ struct CorpusEntry {
 /// adversary and, because sharding hashes entry identity, their shard.
 struct CorpusManifest {
   int seeds = 66;  // 66 seeds x 3 stacks = 198 runs
+  /// Cross-conflict profile (§4.3.5): dedicated seeds run the two Qanaat
+  /// stacks with designated coordinators off and a cross-heavy workload
+  /// under the kCrossConflict adversary, manufacturing symmetric rival
+  /// claims that digest-priority arbitration must settle. Appended after
+  /// the rotation entries at kConflictSeedBase + 1.., so growing either
+  /// knob never reshuffles existing cells.
+  int conflict_seeds = 8;  // x 2 stacks = 16 more runs
 
   std::vector<CorpusEntry> Enumerate() const;
 };
+
+/// Seed band for the cross-conflict profile entries — disjoint from the
+/// rotation's 1..seeds band so the two sweeps stay independently growable.
+constexpr uint64_t kConflictSeedBase = 1000;
 
 /// The adversary the rotation assigns to (stack, seed). Stacks only face
 /// adversaries their fault model admits: equivocation needs a Byzantine

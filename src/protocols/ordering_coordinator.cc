@@ -188,7 +188,9 @@ void OrderingNode::HandleXPrepare(NodeId from, const XPrepareMsg& m) {
     auto claim = validated_digest_.find({ref, alpha.n});
     if (claim != validated_digest_.end()) {
       if (claim->second != m.block_digest) {
-        env()->metrics.Inc("cross.conflict_nack");
+        // Distinct from the live-rivalry nack above: the slot is already
+        // endorsed for another block, so this claim arrived too late.
+        env()->metrics.Inc("cross.conflict_stale");
         nack();
         return;
       }
@@ -409,10 +411,17 @@ void OrderingNode::HandleXCommit(NodeId /*from*/, const XCommitMsg& m) {
   xs.block = m.block;
   if (m.is_abort) {
     // Release the slot claims so a replacement block can reuse the
-    // sequence numbers.
+    // sequence numbers — but only the aborted block's own endorsements;
+    // after a §4.3.5 arbitration a slot entry may already belong to the
+    // rival winner.
     for (const auto& a : m.assignments) {
-      validated_digest_.erase(
-          {ShardRef{a.alpha.collection, a.alpha.shard}, a.alpha.n});
+      std::pair<ShardRef, SeqNo> slot{
+          ShardRef{a.alpha.collection, a.alpha.shard}, a.alpha.n};
+      auto claim = validated_digest_.find(slot);
+      if (claim != validated_digest_.end() &&
+          claim->second == m.block_digest) {
+        validated_digest_.erase(claim);
+      }
     }
     RecordOutcome(xs, m.coord_cert, true);
     FinishCross(xs, false);

@@ -213,22 +213,40 @@ void OrderingNode::SendFAccept(XState& xs) {
   if (mine != xs.assignments.end()) {
     const LocalPart& alpha = mine->second.alpha;
     ShardRef ref{alpha.collection, alpha.shard};
-    if (mine->second.cluster != cfg_.cluster_id &&
-        own_pending_.count({ref, alpha.n})) {
-      env()->metrics.Inc("cross.conflict_nack");
-      return;  // never endorse a rival claim to our in-flight sequence
-    }
-    auto claim = validated_digest_.find({ref, alpha.n});
+    std::pair<ShardRef, SeqNo> slot{ref, alpha.n};
+    auto claim = validated_digest_.find(slot);
     if (claim != validated_digest_.end()) {
       if (claim->second != xs.digest) {
+        // §4.3.5 digest-priority arbitration: when two live claims
+        // contest one slot, every validator deterministically prefers
+        // the lower block digest. Switching the endorsement is safe only
+        // before this node commit-votes the endorsed block
+        // (commit_locked_), only for a live slot, and never on the
+        // §4.4.2 fast path — fast-path commits carry no commit votes, so
+        // the lock cannot protect them.
+        if (FlattenedCftFastPath(xs) || commit_locked_.count(slot) ||
+            alpha.n <= CommittedHeadOf(alpha.collection) ||
+            !(xs.digest < claim->second)) {
+          env()->metrics.Inc("cross.conflict_nack");
+          return;
+        }
+        env()->metrics.Inc("cross.arbitration_switch");
+        claim->second = xs.digest;
+      }
+    } else {
+      if (mine->second.cluster != cfg_.cluster_id &&
+          own_pending_.count(slot)) {
+        // Our cluster's claim is in flight but not yet endorsed here, so
+        // the digests are not comparable yet — nack; arbitration decides
+        // once both claims are registered.
         env()->metrics.Inc("cross.conflict_nack");
         return;
       }
-    } else if (alpha.n <= CommittedHeadOf(alpha.collection)) {
-      env()->metrics.Inc("cross.stale_accept");
-      return;
-    } else {
-      validated_digest_[{ref, alpha.n}] = xs.digest;
+      if (alpha.n <= CommittedHeadOf(alpha.collection)) {
+        env()->metrics.Inc("cross.stale_accept");
+        return;
+      }
+      validated_digest_[slot] = xs.digest;
     }
   }
   xs.sent_accept = true;
@@ -356,6 +374,25 @@ void OrderingNode::MaybeSendFCommit(XState& xs) {
   for (ShardId s : probe.shards) {
     if (!xs.assignments.count(s)) return;
   }
+  // §4.3.5 commit-vote guard: a node commit-votes at most one digest per
+  // slot. The endorsement may have moved to a lower rival after our
+  // accept; commit-voting the abandoned block anyway would let two
+  // commit-vote majorities assemble inside one cluster.
+  auto here = xs.assignments.find(cfg_.shard);
+  if (here != xs.assignments.end()) {
+    const LocalPart& alpha = here->second.alpha;
+    std::pair<ShardRef, SeqNo> slot{ShardRef{alpha.collection, alpha.shard},
+                                    alpha.n};
+    auto endorsed = validated_digest_.find(slot);
+    auto locked = commit_locked_.find(slot);
+    if ((endorsed != validated_digest_.end() &&
+         endorsed->second != xs.digest) ||
+        (locked != commit_locked_.end() && locked->second != xs.digest)) {
+      env()->metrics.Inc("cross.commit_vote_suppressed");
+      return;
+    }
+    commit_locked_[slot] = xs.digest;
+  }
   xs.sent_commit = true;
 
   auto cm = std::make_shared<FCommitMsg>();
@@ -452,6 +489,18 @@ void OrderingNode::HandleFCommit(NodeId from, const FCommitMsg& m) {
     auto& slot = xs.assignment_votes[a.alpha.shard][a.alpha.n];
     slot.first = a;
     slot.second.insert(from);
+  }
+  if (xs.block == nullptr) {
+    // Commit votes for a block this replica never saw proposed: the
+    // FPropose was lost on the wire. The voters are already past accept
+    // and will finish without us — and completed instances stop
+    // re-driving, so without action this chain is gapped forever (the
+    // cross-shard liveness hole the post-heal convergence audit trips
+    // on). Arm the §4.3.4 query timer; the timeout path multicasts a
+    // CommitQuery and any finished peer answers with the certified
+    // outcome, block included.
+    env()->metrics.Inc("cross.fcommit_before_propose");
+    ArmCrossTimer(m.block_digest);
   }
   MaybeFCommitDone(xs);
 }

@@ -311,13 +311,18 @@ void OrderingNode::OnTimer(uint64_t tag, uint64_t payload) {
     cross_timer_digest_.erase(it);
     auto xit = xstates_.find(d);
     if (xit == xstates_.end() || xit->second.done) return;
-    XState& xs = xit->second;
-    xs.timer_armed = false;
+    xit->second.timer_armed = false;
     env()->metrics.Inc("cross.timeout");
     // Initiator/coordinator primary: re-drive the instance — some votes
     // or the PREPARE/PROPOSE itself may have been lost, and nothing else
     // retransmits them.
-    RedriveCross(xs);
+    RedriveCross(xit->second);
+    // The re-drive may have aborted the instance into the retry
+    // machinery (arbitration back-off) and reshaped xstates_ — re-find
+    // before touching the state again.
+    xit = xstates_.find(d);
+    if (xit == xstates_.end() || xit->second.done) return;
+    XState& xs = xit->second;
     // §4.3.4: query the coordinator/initiator cluster for the outcome.
     auto q = std::make_shared<QueryMsg>(MsgType::kCommitQuery);
     q->from_cluster = cfg_.cluster_id;
@@ -848,10 +853,21 @@ void OrderingNode::FinishCross(XState& xs, bool committed) {
   // (§4.3.5: different timers per cluster prevent repeated deadlocks).
   if (!committed) {
     // Release slot claims and roll back our own assignment counters so
-    // replacements can reuse the burned sequence numbers.
+    // replacements can reuse the burned sequence numbers. Only this
+    // block's own endorsement is released: after a §4.3.5 arbitration
+    // switch the slot entry holds the rival winner's digest, and erasing
+    // it would let a third claim sneak into a decided slot.
     for (const auto& [shard, a] : xs.assignments) {
-      ShardRef ref{a.alpha.collection, a.alpha.shard};
-      validated_digest_.erase({ref, a.alpha.n});
+      std::pair<ShardRef, SeqNo> slot{
+          ShardRef{a.alpha.collection, a.alpha.shard}, a.alpha.n};
+      auto claim = validated_digest_.find(slot);
+      if (claim != validated_digest_.end() && claim->second == xs.digest) {
+        validated_digest_.erase(claim);
+      }
+      auto locked = commit_locked_.find(slot);
+      if (locked != commit_locked_.end() && locked->second == xs.digest) {
+        commit_locked_.erase(locked);
+      }
       if (a.cluster == cfg_.cluster_id && engine_->IsPrimary() &&
           next_seq_[a.alpha.collection] == a.alpha.n) {
         --next_seq_[a.alpha.collection];
@@ -867,6 +883,60 @@ void OrderingNode::FinishCross(XState& xs, bool committed) {
     SimTime backoff = 1000 * (cfg_.cluster_id + 1) * (xs.retries + 1);
     StartTimer(backoff, kTagRetry, token);
   }
+  // §4.3.5 loser re-proposal is a flattened-mode mechanism: only there
+  // does the commit-vote lock guarantee a slot-losing rival can never
+  // commit, making its abort-and-requeue safe. In the coordinator
+  // family a slot collision is a duplicate redrive whose transactions
+  // may ride in another live instance — requeueing would mint a third
+  // copy and break exactly-once (the paxos-seed-32 scenario).
+  if (committed && dir_->params.family == ProtocolFamily::kFlattened) {
+    RequeueArbitrationLosers(xs);
+  }
+}
+
+void OrderingNode::RequeueArbitrationLosers(const XState& winner) {
+  if (winner.assignments.empty()) return;
+  // Copy the winner's contested slots first: aborting a loser below can
+  // mutate xstates_ (deferred re-admission inserts fresh instances),
+  // which would invalidate references into the table.
+  const Sha256Digest winner_digest = winner.digest;
+  std::vector<std::pair<ShardRef, SeqNo>> slots;
+  slots.reserve(winner.assignments.size());
+  for (const auto& [shard, a] : winner.assignments) {
+    slots.push_back(
+        {ShardRef{a.alpha.collection, a.alpha.shard}, a.alpha.n});
+  }
+  // xstates_ is a hashed container — collect matches, then order the
+  // losers by digest so the abort (and retry) schedule is deterministic.
+  std::vector<Sha256Digest> losers;
+  for (const auto& [d, rival] : xstates_) {
+    if (rival.done || d == winner_digest) continue;
+    for (const auto& [shard, a] : rival.assignments) {
+      std::pair<ShardRef, SeqNo> slot{
+          ShardRef{a.alpha.collection, a.alpha.shard}, a.alpha.n};
+      if (std::find(slots.begin(), slots.end(), slot) != slots.end()) {
+        losers.push_back(d);
+        break;
+      }
+    }
+  }
+  std::sort(losers.begin(), losers.end());
+  for (const Sha256Digest& d : losers) {
+    auto it = xstates_.find(d);
+    if (it == xstates_.end() || it->second.done) continue;
+    env()->metrics.Inc("cross.arbitration_loser");
+    if (it->second.block != nullptr) {
+      for (const Transaction& tx : it->second.block->txs) {
+        arbitration_loser_txs_.insert({tx.client, tx.client_ts});
+      }
+    }
+    // The winner holds the slot, and its commit-vote majorities keep it
+    // locked at a local majority of every involved cluster — the loser
+    // can never commit, so its transactions can safely go back through
+    // the retry machinery (the pin in pending_cross_ rides along, which
+    // is what keeps re-admission exactly-once).
+    FinishCross(it->second, /*committed=*/false);
+  }
 }
 
 void OrderingNode::RunRetry(uint64_t token) {
@@ -876,9 +946,25 @@ void OrderingNode::RunRetry(uint64_t token) {
   retry_blocks_.erase(it);
   // The retry entry's pin moves to the fresh block's holder below.
   UnpinCross(old_block);
-  const Transaction& probe = old_block->txs.front();
+  // Exactly-once: drop transactions that committed meanwhile. An aborted
+  // instance can share requests with the block that beat it — a §4.3.5
+  // arbitration loser that was a duplicate admission of the winner, or a
+  // redrive whose original finally landed — and re-proposing those would
+  // commit them twice (committed_requests_ is the permanent record).
+  std::vector<Transaction> txs;
+  txs.reserve(old_block->txs.size());
+  for (const Transaction& tx : old_block->txs) {
+    if (!committed_requests_.Contains({tx.client, tx.client_ts})) {
+      txs.push_back(tx);
+    }
+  }
+  if (txs.empty()) {
+    env()->metrics.Inc("cross.retry_settled");
+    return;
+  }
+  const Transaction& probe = txs.front();
   BlockPtr fresh = MakeBlock(FlowKey{probe.collection, probe.shards},
-                             old_block->txs,
+                             std::move(txs),
                              static_cast<uint32_t>(retries));
   XState& xs = StateFor(fresh->Digest());
   xs.retries = retries;
@@ -900,6 +986,26 @@ void OrderingNode::RedriveCross(XState& xs) {
   if (xs.done || xs.block == nullptr || !xs.i_coordinate ||
       !engine_->IsPrimary()) {
     return;
+  }
+  // §4.3.5: if one of our claimed slots has meanwhile committed under a
+  // different block (learned via votes or state transfer), this instance
+  // lost its arbitration and can never commit — the winner's commit-vote
+  // majorities hold the slot locked. Abort into the retry machinery
+  // instead of re-driving a dead claim forever.
+  for (const auto& [shard, a] : xs.assignments) {
+    if (a.cluster != cfg_.cluster_id) continue;
+    ShardRef ref{a.alpha.collection, a.alpha.shard};
+    if (exec_.ledger().HeadOf(ref) < a.alpha.n) continue;
+    for (size_t i : exec_.ledger().ChainOf(ref)) {
+      const DagLedger::Entry& e = exec_.ledger().entry(i);
+      if (e.alpha.n != a.alpha.n) continue;
+      if (e.block->Digest() != xs.digest) {
+        env()->metrics.Inc("cross.arbitration_backoff");
+        FinishCross(xs, /*committed=*/false);
+        return;
+      }
+      break;
+    }
   }
   env()->metrics.Inc("cross.redrive");
   if (dir_->params.family == ProtocolFamily::kFlattened) {
@@ -1035,7 +1141,24 @@ void OrderingNode::HandleStateRequest(NodeId from, const StateRequestMsg& m) {
       any = true;
     }
   }
+  // Certified-but-wedged tail: blocks this replica committed whose chain
+  // predecessor is still missing live outside the installed chains. A
+  // requester that recovers while a chain is globally wedged would never
+  // see them in any later sync round (once the wedge clears, the tail
+  // block has no successor to reveal the gap) — include them, pending
+  // the same predecessors on the requester's side.
+  for (const auto& p : exec_.pending()) {
+    if (rep->entries.size() >= kMaxEntries) break;
+    auto it = req_heads.find(ShardRef{p.alpha.collection, p.alpha.shard});
+    SeqNo have = it == req_heads.end() ? 0 : it->second;
+    if (p.alpha.n <= have) continue;
+    rep->entries.push_back(
+        StateReplyMsg::Entry{p.block, p.cert, p.alpha, p.gamma});
+    bytes += 64 + p.block->WireSize() + p.cert.WireSize();
+    verify_ops += p.cert.sigs.size();
+  }
   if (rep->entries.empty() && rep->ckpt.slot <= m.frontier) return;
+  rep->requester = m.requester;  // echo for firewall-routed executor pulls
   rep->wire_bytes = static_cast<uint32_t>(
       std::min<uint64_t>(bytes, UINT32_MAX));
   rep->sig_verify_ops =
@@ -1047,30 +1170,7 @@ void OrderingNode::HandleStateRequest(NodeId from, const StateRequestMsg& m) {
 
 bool OrderingNode::VerifyTransferredEntry(
     const StateReplyMsg::Entry& e) const {
-  if (e.block == nullptr) return false;
-  // Tamper evidence from canonical bytes, bypassing every memoized
-  // digest: Merkle root over the transferred transactions, then the
-  // block digest the certificate must cover.
-  Sha256Digest root = e.block->RecomputeTxRoot();
-  if (!(root == e.block->tx_root)) return false;
-  if (!(e.cert.block_digest == e.block->RecomputeDigest(root))) {
-    return false;
-  }
-  // Quorum of valid signatures from ordering nodes of the collection's
-  // member clusters — the only parties that legitimately certify blocks
-  // of this chain (keeps Byzantine execution nodes out of the signer
-  // set).
-  std::vector<NodeId> allowed;
-  for (EnterpriseId ent : e.alpha.collection.members.Members()) {
-    for (ShardId s = 0;
-         s < static_cast<ShardId>(dir_->params.shards_per_enterprise);
-         ++s) {
-      const auto& ord = dir_->Cluster(dir_->ClusterIdOf(ent, s)).ordering;
-      allowed.insert(allowed.end(), ord.begin(), ord.end());
-    }
-  }
-  return e.cert.ValidFrom(env()->keystore, dir_->params.CertQuorum(),
-                          allowed);
+  return VerifyTransferredLedgerEntry(*dir_, env()->keystore, e);
 }
 
 bool OrderingNode::InstallTransferredBlock(const StateReplyMsg::Entry& e) {

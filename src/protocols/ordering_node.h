@@ -56,6 +56,14 @@ class OrderingNode : public Actor {
   uint64_t committed_txs() const { return committed_txs_; }
   uint64_t aborted_blocks() const { return aborted_blocks_; }
 
+  /// Auditor surface: request ids (client, client timestamp) of the
+  /// transactions that lost a §4.3.5 digest-priority arbitration here and
+  /// were re-queued for re-proposal. The chaos auditor checks that each
+  /// eventually commits exactly once on some winning block.
+  const std::set<std::pair<NodeId, uint64_t>>& arbitration_loser_txs() const {
+    return arbitration_loser_txs_;
+  }
+
  private:
   friend class QanaatSystem;
 
@@ -201,6 +209,12 @@ class OrderingNode : public Actor {
   bool HasCrossShardConflict(const BlockPtr& block,
                              const std::vector<ShardId>& shards) const;
   void FinishCross(XState& xs, bool committed);
+  /// §4.3.5 loser re-proposal: after `winner` commits, aborts every live
+  /// rival instance claiming one of the winner's slots with a different
+  /// digest. The abort path funnels the loser's transactions into the
+  /// retry machinery (still pinned in pending_cross_), so re-admission
+  /// stays exactly-once.
+  void RequeueArbitrationLosers(const XState& winner);
   void ArmCrossTimer(const Sha256Digest& d);
   void RunRetry(uint64_t token);
   /// Timed-out initiator/coordinator primary re-drives an unfinished
@@ -294,11 +308,23 @@ class OrderingNode : public Actor {
   // take the slot. Keyed by digest rather than a watermark so pipelined
   // prepares tolerate out-of-order delivery.
   std::map<std::pair<ShardRef, SeqNo>, Sha256Digest> validated_digest_;
+  // Commit-vote lock (§4.3.5 arbitration safety): the one digest this
+  // node has commit-voted for each slot. An endorsement may switch to a
+  // lower rival digest while the slot is merely accepted, but never after
+  // the commit vote — without the lock, two commit-vote majorities for
+  // different digests could assemble inside one cluster. Released only by
+  // a matching abort.
+  std::map<std::pair<ShardRef, SeqNo>, Sha256Digest> commit_locked_;
   // (chain, n) assignments our own cluster currently has in flight. A
   // node never endorses a remote block claiming a sequence number its
   // own cluster is still trying to commit (optimistic-mode safety,
-  // §4.3.5).
+  // §4.3.5) — until both claims are digest-comparable, at which point
+  // the lower digest wins deterministically.
   std::set<std::pair<ShardRef, SeqNo>> own_pending_;
+  // Transactions that lost a digest-priority arbitration (see
+  // RequeueArbitrationLosers); kept for the chaos auditor's
+  // eventual-commit invariant.
+  std::set<std::pair<NodeId, uint64_t>> arbitration_loser_txs_;
   // Request identity (client, client timestamp) for dedup bookkeeping.
   // These maps sit on the per-request hot path, so they are hashed flat
   // containers rather than ordered trees; nothing iterates them in key

@@ -52,6 +52,8 @@ const char* AdversaryName(AdversaryKind k) {
       return "equivocation";
     case AdversaryKind::kSelectiveSilence:
       return "silence";
+    case AdversaryKind::kCrossConflict:
+      return "conflict";
   }
   return "?";
 }
@@ -378,6 +380,22 @@ FaultPlan MakeRandomPlan(uint64_t seed, const std::vector<CrashGroup>& groups,
             if (p == adversary_target) continue;
             plan.LinkFaultWindow(from, to, adversary_target, p, silence);
           }
+        }
+        break;
+      }
+      case AdversaryKind::kCrossConflict: {
+        // Lossy + laggy intra-cluster links around the target primary:
+        // its own propose for a contested slot races (and often loses
+        // to) the rival cluster's cross-shard claim, manufacturing the
+        // symmetric rivalries §4.3.5 arbitrates. Loss is confined to
+        // named links, so the plan keeps HasUntargetedLoss() == false
+        // and the convergence + eventual-commit audits stay armed.
+        Network::LinkFault contested;
+        contested.drop = 0.35;
+        contested.extra_delay_us = profile.gray_link_delay_us;
+        for (NodeId p : peers) {
+          if (p == adversary_target) continue;
+          plan.LinkFaultWindow(from, to, adversary_target, p, contested);
         }
         break;
       }

@@ -114,6 +114,14 @@ enum class AdversaryKind : uint8_t {
   /// between the target and its cluster peers (e.g. swallow only
   /// view-change or checkpoint traffic); everything else flows.
   kSelectiveSilence,
+  /// Cross-conflict forcing (§4.3.5): lossy, laggy links between the
+  /// target primary and its cluster peers delay its intra-cluster
+  /// propose relative to rival clusters' cross-shard claims, so
+  /// symmetric claims for the same slot arise and digest-priority
+  /// arbitration plus loser re-proposal must settle them. The loss is
+  /// targeted (named links only), so convergence and the eventual-commit
+  /// audit stay armed. Meaningful with designated_coordinator off.
+  kCrossConflict,
 };
 
 const char* AdversaryName(AdversaryKind k);

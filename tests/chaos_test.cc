@@ -105,17 +105,28 @@ TEST(ChaosGolden, TraceHashesMatchPinnedSchedules) {
   // explicit acceptance bar is that pure performance work changes no
   // schedule, so these pins must NOT be re-pinned by perf refactors; a
   // mismatch means the optimization changed observable behavior.
+  // Qanaat pins re-pinned for the §4.3.5 conflict-resolution PR. The
+  // intentional behavior changes that moved them: (1) the cross-shard
+  // retry path drops transactions that already committed elsewhere and
+  // redrives consult the ledger before re-claiming a contested slot
+  // (exactly-once); (2) commit votes arriving for a block a replica
+  // never saw proposed now arm the §4.3.4 query timer (closing the
+  // lost-FPropose tail gap); (3) state transfer serves certified blocks
+  // still pending a predecessor (closing the recovery-during-wedge tail
+  // gap). Each adds recovery traffic only on faulty schedules — these
+  // seeds crash and drop, so their schedules legitimately moved. The
+  // Fabric baseline has no cross-shard machinery: its pins MUST hold.
   static const Golden kGolden[] = {
       {ChaosStack::kQanaatPbft, 2u, 0x1bd5d9bca2dc5812ULL},
-      {ChaosStack::kQanaatPbft, 3u, 0x3ad64cb4913d0fbaULL},
-      {ChaosStack::kQanaatPbft, 5u, 0x99461da27152e089ULL},
-      {ChaosStack::kQanaatPbft, 7u, 0x4d96d1d5d0b898c2ULL},
-      {ChaosStack::kQanaatPbft, 12u, 0x3a03a6eadc368ca9ULL},
+      {ChaosStack::kQanaatPbft, 3u, 0xfcbba6078d99f164ULL},
+      {ChaosStack::kQanaatPbft, 5u, 0x62e30efd37e60b66ULL},
+      {ChaosStack::kQanaatPbft, 7u, 0xa26ba5da16b8271bULL},
+      {ChaosStack::kQanaatPbft, 12u, 0xb6aa66678d9ddb04ULL},
       {ChaosStack::kQanaatPaxos, 2u, 0xcc76ee3e909b56b1ULL},
-      {ChaosStack::kQanaatPaxos, 3u, 0x8ed60dd43958d2deULL},
-      {ChaosStack::kQanaatPaxos, 5u, 0x4064fcbc63679f91ULL},
-      {ChaosStack::kQanaatPaxos, 7u, 0xe70a9f446b8e42e1ULL},
-      {ChaosStack::kQanaatPaxos, 12u, 0xe631fa087b9be3a3ULL},
+      {ChaosStack::kQanaatPaxos, 3u, 0xb8fea86308d28099ULL},
+      {ChaosStack::kQanaatPaxos, 5u, 0x78060eff0f1281dcULL},
+      {ChaosStack::kQanaatPaxos, 7u, 0x1cb395ee292d88c4ULL},
+      {ChaosStack::kQanaatPaxos, 12u, 0x20b8d76fa8064308ULL},
       {ChaosStack::kFabric, 2u, 0x967a5df6743242b0ULL},
       {ChaosStack::kFabric, 3u, 0x70b03581c3ee88beULL},
       {ChaosStack::kFabric, 5u, 0xebc0767ebf79ecc1ULL},

@@ -291,6 +291,7 @@ std::vector<MessageRef> SampleMessages() {
     m->heads.push_back(
         StateRequestMsg::ChainHead{CollectionId{EnterpriseSet{0}}, 0, 3});
     m->frontier = 12;
+    m->requester = 9;  // firewall-brokered executor pull
     out.push_back(m);
   }
   {
@@ -305,6 +306,7 @@ std::vector<MessageRef> SampleMessages() {
     e.alpha = {CollectionId{EnterpriseSet{0, 1}}, 1, 7};
     e.gamma.push_back({CollectionId{EnterpriseSet{0, 1, 2}}, 4});
     m->entries.push_back(e);
+    m->requester = 9;  // echoed so the filter row can route the reply
     out.push_back(m);
   }
   {

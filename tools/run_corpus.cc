@@ -32,7 +32,8 @@ struct Args {
   int shard_index = 0;
   int shard_count = 1;
   int jobs = 0;  // 0 = hardware concurrency
-  int seeds = 0;  // 0 = manifest default
+  int seeds = 0;           // 0 = manifest default
+  int conflict_seeds = -1;  // <0 = manifest default
   std::string out;
   bool list = false;
   // Single-run repro mode (enabled when --seed is given).
@@ -47,9 +48,11 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: run_corpus [--shard-index=I --shard-count=N] [--jobs=J]\n"
-      "                  [--seeds=N] [--out=FILE] [--list]\n"
+      "                  [--seeds=N] [--conflict-seeds=N] [--out=FILE]\n"
+      "                  [--list]\n"
       "       run_corpus --stack=pbft|paxos|fabric --seed=S\n"
-      "                  [--adversary=none|gray|equivocation|silence]\n");
+      "                  [--adversary=none|gray|equivocation|silence|"
+      "conflict]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* a) {
@@ -67,6 +70,8 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->jobs = std::atoi(v);
     } else if (const char* v = val("--seeds=")) {
       a->seeds = std::atoi(v);
+    } else if (const char* v = val("--conflict-seeds=")) {
+      a->conflict_seeds = std::atoi(v);
     } else if (const char* v = val("--out=")) {
       a->out = v;
     } else if (arg == "--list") {
@@ -185,6 +190,7 @@ int RunSingle(const Args& a) {
 int RunShard(const Args& a) {
   CorpusManifest manifest;
   if (a.seeds > 0) manifest.seeds = a.seeds;
+  if (a.conflict_seeds >= 0) manifest.conflict_seeds = a.conflict_seeds;
   std::vector<CorpusEntry> mine;
   for (const CorpusEntry& e : manifest.Enumerate()) {
     if (ShardOf(e, a.shard_count) == a.shard_index) mine.push_back(e);
@@ -196,7 +202,8 @@ int RunShard(const Args& a) {
                   AdversaryName(e.adversary));
     }
     std::fprintf(stderr, "shard %d/%d: %zu of %d entries\n", a.shard_index,
-                 a.shard_count, mine.size(), manifest.seeds * 3);
+                 a.shard_count, mine.size(),
+                 manifest.seeds * 3 + manifest.conflict_seeds * 2);
     return 0;
   }
 
